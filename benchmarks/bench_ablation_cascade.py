@@ -1,0 +1,111 @@
+"""Ablation: width cascading, c = 1 / 2 / 4 (Section 5.1).
+
+Analytically, cascading multiplies the channel rate at unchanged
+stage latency while replicating the routing header into every slice
+(Table 4's ``hbits`` x c): long messages gain nearly the full factor,
+short ones less.  In simulation, cascaded slices on a shared random
+bus must allocate identically on every request.
+"""
+
+from repro.core import words as W
+from repro.core.cascade import CascadeGroup
+from repro.core.parameters import RouterConfig, RouterParameters
+from repro.core.random_source import SharedRandomBus
+from repro.core.router import MetroRouter
+from repro.harness.reporting import format_table
+from repro.latency_model import equations as EQ
+from repro.sim.channel import Channel
+from repro.sim.engine import Engine
+
+
+def _analytical_rows():
+    rows = []
+    for c in (1, 2, 4):
+        for message_bytes in (4, 20, 100):
+            rows.append(
+                {
+                    "cascade_c": c,
+                    "message_bytes": message_bytes,
+                    "hbits": EQ.hbits(4, 0, EQ.RADICES_32_NODE_4_STAGE, c=c),
+                    "t_ns (ORBIT clocks)": EQ.t_20_32(
+                        25, 10, w=4, c=c, message_bits=message_bytes * 8
+                    ),
+                }
+            )
+    return rows
+
+
+def _consistency_trials(c=4, trials=400):
+    params = RouterParameters(i=4, o=4, w=4, max_d=2)
+    bus = SharedRandomBus(seed=17)
+    engine = Engine()
+    members, fwd = [], []
+    for index in range(c):
+        router = MetroRouter(
+            params,
+            name="s{}".format(index),
+            config=RouterConfig(params, dilation=2),
+            random_stream=bus,
+        )
+        engine.add_component(router)
+        ends = []
+        for p in range(4):
+            channel = Channel(name="f{}:{}".format(index, p))
+            engine.add_channel(channel)
+            router.attach_forward(p, channel.b)
+            ends.append(channel.a)
+        for q in range(4):
+            channel = Channel(name="b{}:{}".format(index, q))
+            engine.add_channel(channel)
+            router.attach_backward(q, channel.a)
+        members.append(router)
+        fwd.append(ends)
+    group = CascadeGroup(members)
+    engine.add_component(group)
+
+    consistent = 0
+    for trial in range(trials):
+        header = W.data((trial % 2) << 3)
+        for index in range(c):
+            fwd[index][0].send(header)
+        engine.run(2)
+        ports = {m.connected_backward_port(0) for m in members}
+        if len(ports) == 1 and None not in ports:
+            consistent += 1
+        for index in range(c):
+            fwd[index][0].send(W.DROP_WORD)
+        engine.run(3)
+    return consistent, trials, group.mismatches
+
+
+def _experiment():
+    rows = _analytical_rows()
+    consistent, trials, mismatches = _consistency_trials()
+    return rows, (consistent, trials, mismatches)
+
+
+def test_cascade_ablation(benchmark, report):
+    rows, (consistent, trials, mismatches) = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    text = format_table(
+        rows,
+        title="Ablation: width cascading (ORBIT clocks, hw=0, w=4/slice)",
+    )
+    text += (
+        "\n\nShared-randomness consistency: {}/{} identical allocations "
+        "across a 4-wide cascade ({} wired-AND mismatches)".format(
+            consistent, trials, mismatches
+        )
+    )
+    report(text, name="ablation_cascade")
+
+    by_key = {(r["cascade_c"], r["message_bytes"]): r["t_ns (ORBIT clocks)"] for r in rows}
+    # Cascading always helps, and helps long messages the most.
+    assert by_key[(2, 20)] < by_key[(1, 20)]
+    gain_short = by_key[(1, 4)] / by_key[(4, 4)]
+    gain_long = by_key[(1, 100)] / by_key[(4, 100)]
+    assert gain_long > gain_short
+    # Healthy cascades never diverge.
+    assert consistent == trials
+    assert mismatches == 0

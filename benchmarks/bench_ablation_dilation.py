@@ -1,0 +1,93 @@
+"""Ablation: dilated multipath network vs. plain butterfly (Section 5.1).
+
+Figure 3's network uses dilation-2 early stages and dual-ported
+endpoints; the baseline everyone compared against in 1994 is the
+plain radix-4 butterfly (dilation 1, single-ported endpoints, exactly
+one path per source/destination pair).  At the same injection rate
+the butterfly has no alternative outputs, so contention turns
+directly into blocking and a single dead router isolates endpoints.
+
+(The multipath network spends 2x the wires and 2x the stage-0/1
+routers — that hardware is precisely what the paper proposes buying.)
+"""
+
+import random
+
+from repro.core.parameters import RouterParameters
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.harness.experiment import run_experiment
+from repro.harness.load_sweep import figure3_network
+from repro.harness.reporting import format_series, format_table, results_to_series
+from repro.network import analysis
+from repro.network.builder import build_network
+from repro.network.multibutterfly import wire
+from repro.network.topology import NetworkPlan, StageSpec, figure3_plan
+
+RATE = 0.04
+
+
+def butterfly_plan():
+    """64 endpoints, three radix-4 dilation-1 stages, one path/pair."""
+    params = RouterParameters(i=4, o=4, w=8, max_d=2)
+    return NetworkPlan(
+        64, 1, 1, [StageSpec(params, 1), StageSpec(params, 1), StageSpec(params, 1)]
+    )
+
+
+def _run(network, label):
+    traffic = UniformRandomTraffic(
+        n_endpoints=64, w=8, rate=RATE, message_words=20, seed=13
+    )
+    return run_experiment(
+        network, traffic, warmup_cycles=800, measure_cycles=3500, label=label
+    )
+
+
+def _experiment():
+    multipath = _run(figure3_network(seed=12), "dilation-2 multipath")
+    butterfly = _run(
+        build_network(butterfly_plan(), seed=12, fast_reclaim=True),
+        "dilation-1 butterfly",
+    )
+
+    # Structural comparison: paths per pair and single-fault isolation.
+    structure = []
+    for name, plan in (("multipath", figure3_plan()), ("butterfly", butterfly_plan())):
+        links = wire(plan, rng=random.Random(1))
+        graph = analysis.build_graph(plan, links)
+        structure.append(
+            {
+                "network": name,
+                "paths 0->63": analysis.count_paths(plan, graph, 0, 63),
+                "survives any stage-0 router loss":
+                    analysis.tolerates_any_single_router_loss(plan, graph, 0),
+            }
+        )
+    return [multipath, butterfly], structure
+
+
+def test_dilation_ablation(benchmark, report):
+    results, structure = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    text = format_series(
+        results_to_series(results),
+        x_label="label",
+        y_labels=[
+            "delivered",
+            "delivered_load",
+            "mean_latency",
+            "mean_attempts",
+            "failures_per_message",
+        ],
+        title="Ablation: dilation (rate {})".format(RATE),
+    )
+    text += "\n\n" + format_table(structure, title="Structural comparison")
+    report(text, name="ablation_dilation")
+
+    multipath, butterfly = results
+    # The single-path butterfly blocks far more often per message.
+    assert butterfly.blocked_fraction() > multipath.blocked_fraction()
+    # Structure: 8 paths vs 1, and only the multipath survives router loss.
+    assert structure[0]["paths 0->63"] == 8
+    assert structure[1]["paths 0->63"] == 1
+    assert structure[0]["survives any stage-0 router loss"]
+    assert not structure[1]["survives any stage-0 router loss"]

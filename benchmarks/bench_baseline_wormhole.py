@@ -1,0 +1,88 @@
+"""Circuit switching (METRO) vs. packet switching (wormhole baseline).
+
+Section 2's argument, tested head-to-head on the identical topology
+(the Figure 3 plan) with identical 20-byte closed-loop traffic:
+
+* METRO pays for contention with blocked attempts and retries but
+  holds routers stateless;
+* the wormhole baseline absorbs contention in per-router buffers and
+  needs no retries, but every router carries FIFO storage and a
+  credit-loop — the very complexity METRO's Section 2 argues against
+  for short-haul networks.
+
+The bench reports both latency/load series side by side.  Read them
+carefully: the two latency columns measure different guarantees.
+METRO's latency is *reliable* delivery — submission to acknowledgment
+receipt, including per-router status checksums and any retries.  The
+wormhole figure is *fire-and-forget* arrival at the sink: no ack, no
+end-to-end verification, no retry machinery exists.  Subtracting
+METRO's reply path (one reverse network transit plus the close
+handshake, ~12 cycles on this network) puts the two one-way figures in
+the same regime at light load; under saturation the buffered baseline
+sustains more raw load — by spending buffer storage and a credit loop
+in every router, and by not promising delivery.
+"""
+
+from repro.baseline.harness import run_wormhole_point
+from repro.harness.load_sweep import run_load_point
+from repro.harness.reporting import format_table
+from repro.network.topology import figure3_plan
+
+RATES = (0.005, 0.02, 0.08, 0.32)
+
+
+def _experiment():
+    plan = figure3_plan()
+    rows = []
+    for rate in RATES:
+        metro = run_load_point(
+            rate, seed=21, warmup_cycles=700, measure_cycles=3000
+        )
+        wormhole = run_wormhole_point(
+            plan, rate, seed=21, warmup_cycles=700, measure_cycles=3000
+        )
+        stored = run_wormhole_point(
+            plan, rate, seed=21, warmup_cycles=700, measure_cycles=3000,
+            store_and_forward=True, buffer_depth=24,
+        )
+        rows.append(
+            {
+                "rate": rate,
+                "metro_load": metro.delivered_load,
+                "metro_latency": metro.mean_latency,
+                "wormhole_load": wormhole.delivered_load,
+                "wormhole_latency": wormhole.mean_latency,
+                "store_fwd_load": stored.delivered_load,
+                "store_fwd_latency": stored.mean_latency,
+            }
+        )
+    return rows
+
+
+def test_metro_vs_wormhole(benchmark, report):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="Switching disciplines on the Figure 3 topology, 20-byte "
+            "messages: METRO (acked circuit) vs wormhole vs "
+            "store-and-forward (both fire-and-forget)",
+            floatfmt="{:.2f}",
+        ),
+        name="baseline_wormhole",
+    )
+    light = rows[0]
+    heavy = rows[-1]
+    # Same regime at light load: neither cut-through discipline is 2x
+    # the other.
+    assert light["metro_latency"] < light["wormhole_latency"] * 2
+    assert light["wormhole_latency"] < light["metro_latency"] * 2
+    # Store-and-forward pays per-hop re-serialization even unloaded —
+    # Section 2's argument against long-haul disciplines here.
+    assert light["store_fwd_latency"] > light["wormhole_latency"] + 2 * 20
+    # Both cut-through disciplines saturate to meaningful load.
+    assert heavy["metro_load"] > 0.15
+    assert heavy["wormhole_load"] > 0.15
+    # Latency rises with load everywhere.
+    assert heavy["metro_latency"] > light["metro_latency"]
+    assert heavy["wormhole_latency"] > light["wormhole_latency"]

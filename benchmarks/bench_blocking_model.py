@@ -1,0 +1,59 @@
+"""Blocking theory vs. simulation across the Figure 3 load range.
+
+Lee's link-occupancy approximation (``repro.latency_model.blocking``)
+predicts the probability a connection attempt blocks — and hence the
+mean attempts per message — from nothing but the measured delivered
+load and the network's stage dilations.  This bench lays the
+prediction alongside the simulator's measured retry counts across the
+whole Figure 3 sweep.
+"""
+
+from repro.harness.load_sweep import run_load_point
+from repro.harness.reporting import format_table
+from repro.latency_model import blocking as B
+from repro.network.topology import figure3_plan
+
+RATES = (0.005, 0.02, 0.08, 0.32)
+
+
+def _experiment():
+    plan = figure3_plan()
+    rows = []
+    for rate in RATES:
+        result = run_load_point(
+            rate, seed=23, warmup_cycles=700, measure_cycles=3000
+        )
+        utilization, p_block, predicted = B.predict_from_result(result, plan)
+        rows.append(
+            {
+                "rate": rate,
+                "delivered_load": result.delivered_load,
+                "wire_utilization": utilization,
+                "lee_p_block": p_block,
+                "lee_attempts": predicted,
+                "sim_attempts": result.mean_attempts,
+            }
+        )
+    return rows
+
+
+def test_blocking_model(benchmark, report):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="Lee's blocking approximation vs. simulated retries "
+            "(Figure 3 network)",
+            floatfmt="{:.3f}",
+        ),
+        name="blocking_model",
+    )
+    # The prediction tracks the measurement's scale and direction.
+    for row in rows:
+        assert row["lee_attempts"] >= 1.0
+        ratio = row["sim_attempts"] / row["lee_attempts"]
+        assert 1 / 3 < ratio < 3, row
+    predicted = [row["lee_attempts"] for row in rows]
+    simulated = [row["sim_attempts"] for row in rows]
+    assert predicted == sorted(predicted)
+    assert simulated == sorted(simulated)

@@ -1,0 +1,53 @@
+"""Section 6.2: "performance degrades robustly in the face of faults".
+
+The paper cites its companion studies [2][3] showing the routing
+protocol's performance falls off gradually as faults accumulate.
+This bench holds offered load fixed on the Figure 3 network and kills
+increasing numbers of wires and routers: delivered throughput should
+decline gracefully (no cliff, no livelock) while latency and retry
+counts rise.
+"""
+
+from repro.harness.fault_sweep import fault_degradation_sweep
+from repro.harness.reporting import format_series, results_to_series
+
+LEVELS = ((0, 0), (4, 0), (8, 0), (16, 0), (4, 2), (8, 4))
+
+
+def _sweep():
+    return fault_degradation_sweep(
+        fault_levels=LEVELS,
+        rate=0.02,
+        seed=5,
+        warmup_cycles=800,
+        measure_cycles=3500,
+    )
+
+
+def test_fault_degradation(benchmark, report):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    points = results_to_series(results)
+    report(
+        format_series(
+            points,
+            x_label="label",
+            y_labels=[
+                "delivered",
+                "delivered_load",
+                "mean_latency",
+                "mean_attempts",
+                "abandoned",
+            ],
+            title="Fault degradation at fixed load (Figure 3 network, rate 0.02)",
+        ),
+        name="fault_degradation",
+    )
+    healthy = results[0]
+    worst = results[-1]
+    # Robust degradation: even with 8 dead wires + 4 dead routers the
+    # network still delivers the bulk of the healthy throughput...
+    assert worst.delivered_count > 0.5 * healthy.delivered_count
+    # ...nothing is abandoned (sources always find another path)...
+    assert all(r.abandoned_count == 0 for r in results)
+    # ...and the cost shows up as retries/latency, not lost messages.
+    assert worst.mean_attempts >= healthy.mean_attempts

@@ -1,0 +1,70 @@
+"""Figure 1: the 16x16 multipath network, regenerated as data.
+
+Figure 1 is a topology drawing; its content is structural: router
+counts per stage, the multiplicity of paths between endpoint pairs
+(the bold endpoint-6 to endpoint-16 paths), and the fault-tolerance
+properties its caption claims.  This bench rebuilds the network and
+reports exactly those quantities.
+"""
+
+import random
+
+from repro.harness.reporting import format_table
+from repro.network import analysis
+from repro.network.multibutterfly import wire
+from repro.network.topology import figure1_plan
+
+
+def _analyze(seed=1):
+    plan = figure1_plan()
+    links = wire(plan, rng=random.Random(seed))
+    graph = analysis.build_graph(plan, links)
+    matrix = analysis.path_multiplicity_matrix(plan, graph)
+    flat = [value for row in matrix for value in row]
+    final = plan.n_stages - 1
+    return {
+        "plan": plan,
+        "graph": graph,
+        "bold_pair_paths": analysis.count_paths(plan, graph, 5, 15),
+        "min_paths": min(flat),
+        "max_paths": max(flat),
+        "tolerates_final_stage_loss": analysis.tolerates_any_single_router_loss(
+            plan, graph, stage=final
+        ),
+        "tolerates_stage0_loss": analysis.tolerates_any_single_router_loss(
+            plan, graph, stage=0
+        ),
+    }
+
+
+def test_figure1_structure(benchmark, report):
+    stats = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    plan = stats["plan"]
+    rows = [
+        {"quantity": "endpoints", "value": plan.n_endpoints},
+        {"quantity": "endpoint in/out ports", "value": "2/2"},
+        {"quantity": "stages", "value": plan.n_stages},
+        {
+            "quantity": "routers per stage",
+            "value": str([plan.routers_in_stage(s) for s in range(plan.n_stages)]),
+        },
+        {
+            "quantity": "stage (radix, dilation)",
+            "value": str([(s.radix, s.dilation) for s in plan.stages]),
+        },
+        {"quantity": "paths endpoint 6 -> endpoint 16", "value": stats["bold_pair_paths"]},
+        {"quantity": "min/max paths over all pairs",
+         "value": "{}/{}".format(stats["min_paths"], stats["max_paths"])},
+        {"quantity": "survives any single final-stage router loss",
+         "value": stats["tolerates_final_stage_loss"]},
+        {"quantity": "survives any single stage-0 router loss",
+         "value": stats["tolerates_stage0_loss"]},
+    ]
+    report(
+        format_table(rows, title="Figure 1: 16x16 multipath network (structural data)"),
+        name="figure1",
+    )
+    assert stats["bold_pair_paths"] == 8
+    assert stats["min_paths"] == stats["max_paths"] == 8
+    assert stats["tolerates_final_stage_loss"]
+    assert stats["tolerates_stage0_loss"]

@@ -1,0 +1,74 @@
+"""Message size vs. latency: the short-haul premise, measured.
+
+Section 2's core observation: in tightly-coupled machines "the time
+required to inject a message is often large compared to the end-to-end
+interconnect latency", which is why dedicating a circuit to the whole
+message costs little.  This bench sweeps message size on the Figure 3
+network and fits latency = transit + size/bandwidth: the transit
+intercept is a handful of cycles while serialization dominates from a
+few words up — plus the analytical counterpart across Table 3
+implementations via the generalized model.
+"""
+
+import random
+
+from repro.endpoint.messages import Message
+from repro.harness.load_sweep import figure3_network
+from repro.harness.reporting import format_table
+from repro.latency_model import general as G
+from repro.latency_model.implementations import table3_implementations
+
+SIZES = (1, 4, 10, 20, 40, 80)  # words (bytes at w=8)
+
+
+def _measure(size_words, seed=55, samples=8):
+    network = figure3_network(seed=seed)
+    rng = random.Random(seed + size_words)
+    latencies = []
+    for _ in range(samples):
+        src, dest = rng.randrange(64), rng.randrange(64)
+        if src == dest:
+            dest = (dest + 1) % 64
+        payload = [rng.getrandbits(8) for _ in range(size_words)]
+        message = network.send(src, Message(dest=dest, payload=payload))
+        network.run_until_quiet(max_cycles=20000)
+        latencies.append(message.latency)
+    return sum(latencies) / len(latencies)
+
+
+def _experiment():
+    rows = []
+    orbit = table3_implementations()[0]
+    for size in SIZES:
+        measured = _measure(size)
+        rows.append(
+            {
+                "message_words": size,
+                "simulated_cycles": measured,
+                "orbit_analytical_ns": G.t_message(orbit, size // 2 or 1),
+            }
+        )
+    return rows
+
+
+def test_message_size_sweep(benchmark, report):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="Latency vs. message size (Figure 3 network, unloaded): "
+            "serialization dominates past a few words",
+            floatfmt="{:.1f}",
+        ),
+        name="message_size",
+    )
+    sizes = [row["message_words"] for row in rows]
+    cycles = [row["simulated_cycles"] for row in rows]
+    # Latency is affine in size: successive differences match the size
+    # deltas (one cycle per word each way... forward only: 1 per word).
+    for (s1, c1), (s2, c2) in zip(zip(sizes, cycles), zip(sizes[1:], cycles[1:])):
+        slope = (c2 - c1) / (s2 - s1)
+        assert 0.8 <= slope <= 1.3, (s1, s2, slope)
+    # The transit intercept (size -> 0) is small: the short-haul regime.
+    intercept = cycles[0] - sizes[0] * 1.0
+    assert intercept < 30

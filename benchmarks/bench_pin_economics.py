@@ -1,0 +1,53 @@
+"""Pin-budget economics: why width cascading exists (Section 5.1).
+
+At a fixed IC pin budget, a designer can spend pins on datapath width
+or on ports.  METRO's answer: buy ports (fewer network stages), keep
+slices narrow, and recover datapath width by cascading.  This bench
+prices the alternatives for the 32-node example machine at several pin
+budgets.
+"""
+
+from repro.harness.reporting import format_table
+from repro.latency_model import cost as C
+
+
+def _experiment():
+    rows = []
+    for pins in (120, 150, 220):
+        for point in C.cascade_tradeoff_table(pins=pins):
+            rows.append(point)
+    return rows
+
+
+def test_pin_economics(benchmark, report):
+    rows = benchmark(_experiment)
+    display = [
+        {
+            "pins": r["pins"],
+            "w/slice": r["w"],
+            "cascade": r["cascade_c"],
+            "datapath": r["datapath_bits"],
+            "ports/side": r["ports_per_side"],
+            "stages": r["stages"],
+            "pins_used": r["pins_used"],
+            "t_20_32_ns": r["t_20_32_ns"],
+        }
+        for r in rows
+    ]
+    report(
+        format_table(
+            display,
+            title="Pin-budget design points, 32-node machine "
+            "(0.8u std-cell clocks)",
+            floatfmt="{:.0f}",
+        ),
+        name="pin_economics",
+    )
+    # At every budget where both exist, the cascaded narrow-slice
+    # design beats the single wide chip at equal datapath width.
+    for pins in (120, 150, 220):
+        at_budget = {(r["w"], r["cascade_c"]): r for r in rows if r["pins"] == pins}
+        if (8, 1) in at_budget and (4, 2) in at_budget:
+            assert (
+                at_budget[(4, 2)]["t_20_32_ns"] <= at_budget[(8, 1)]["t_20_32_ns"]
+            )

@@ -1,0 +1,74 @@
+"""Simulator throughput: how fast the cycle-accurate model runs.
+
+Not a paper figure — an engineering benchmark for the reproduction
+itself (the repro band flags cycle simulation speed as the limiting
+factor for large networks).  Reports simulated cycles/second for a
+loaded Figure 3 network and raw single-router tick rate.
+"""
+
+from repro.core import words as W
+from repro.core.parameters import RouterParameters
+from repro.core.router import MetroRouter
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.harness.load_sweep import figure3_network
+from repro.sim.channel import Channel
+from repro.sim.engine import Engine
+
+CYCLES = 400
+
+
+def _loaded_network():
+    network = figure3_network(seed=19)
+    UniformRandomTraffic(64, 8, rate=0.05, message_words=20, seed=20).attach(network)
+    network.run(200)  # warm: connections in flight
+    return network
+
+
+def test_figure3_network_cycle_rate(benchmark, report):
+    network = _loaded_network()
+    benchmark.pedantic(
+        lambda: network.run(CYCLES), rounds=3, iterations=1, warmup_rounds=1
+    )
+    rate = CYCLES / benchmark.stats["mean"]
+    report(
+        "Figure 3 network (64 endpoints, 64 routers, 512 wires), loaded:\n"
+        "  {:.0f} simulated cycles/second".format(rate),
+        name="sim_performance_network",
+    )
+    assert rate > 200  # sanity floor
+
+
+def test_single_router_tick_rate(benchmark, report):
+    params = RouterParameters(i=8, o=8, w=8, max_d=2)
+    router = MetroRouter(params, name="perf")
+    engine = Engine()
+    engine.add_component(router)
+    sources = []
+    for p in range(8):
+        channel = Channel(name="f{}".format(p))
+        engine.add_channel(channel)
+        router.attach_forward(p, channel.b)
+        sources.append(channel.a)
+    for q in range(8):
+        channel = Channel(name="b{}".format(q))
+        engine.add_channel(channel)
+        router.attach_backward(q, channel.a)
+    # Saturate all eight inputs with open connections streaming data.
+    for p, end in enumerate(sources):
+        end.send(W.data((p % 4) << 6))
+    engine.run(2)
+
+    def run_ticks():
+        for end in sources:
+            end.send(W.data(0x55))
+        engine.step()
+
+    benchmark(run_ticks)
+    rate = 1.0 / benchmark.stats["mean"]
+    report(
+        "Single 8x8 router, all ports streaming: {:.0f} router-cycles/second".format(
+            rate
+        ),
+        name="sim_performance_router",
+    )
+    assert rate > 1000

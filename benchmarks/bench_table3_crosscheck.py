@@ -1,0 +1,101 @@
+"""Cross-check: Table 3's arithmetic against the cycle simulator.
+
+Table 3's ``t_20,32`` figures are analytical (Table 4).  Here we build
+the actual 32-node network those rows describe — three stages of
+METROJR parts in dilation-2 mode plus a dilation-1 radix-4 final stage
+— inject real 20-byte messages, measure the *one-way arrival* time in
+cycles at the receiving endpoint, and compare with the model's
+``t_20,32 / t_clk``.
+
+Known accounting differences (why the match is approximate, ~5-10%):
+
+* the simulator's path has ``stages + 1`` wires (the endpoint's attach
+  wire is real); the model bills ``stages`` wire transits;
+* our protocol appends one end-to-end checksum word the model's
+  160-bit message does not include.
+
+Everything else — header length, per-stage pipeline, serialization —
+must line up, so a match here validates both the Table 4 equations and
+the simulator's timing model against each other.
+"""
+
+import random
+
+from repro.endpoint.messages import Message
+from repro.harness.reporting import format_table
+from repro.latency_model import equations as EQ
+from repro.network.builder import build_network
+from repro.network.topology import table3_32node_plan
+
+
+def _measure_one_way_cycles(hw, link_delay, seed, samples=12, two_stage=False):
+    network = build_network(
+        table3_32node_plan(two_stage=two_stage, hw=hw),
+        seed=seed,
+        link_delay=link_delay,
+    )
+    rng = random.Random(seed)
+    one_way = []
+    for _ in range(samples):
+        src = rng.randrange(32)
+        dest = rng.randrange(32)
+        if dest == src:
+            dest = (dest + 1) % 32
+        payload = [rng.getrandbits(4) for _ in range(40)]  # 20 bytes at w=4
+        message = network.send(src, Message(dest=dest, payload=payload))
+        start_arrivals = len(network.log.receiver_arrivals)
+        if not network.run_until_quiet(max_cycles=20000):
+            raise RuntimeError("failed to drain")
+        assert message.outcome == "delivered"
+        cycle, _words, ok = network.log.receiver_arrivals[start_arrivals]
+        assert ok
+        one_way.append(cycle - message.start_cycle)
+    return sum(one_way) / len(one_way)
+
+
+def _experiment():
+    rows = []
+    cases = [
+        # (label, hw, link_delay/vtd, t_clk ns, two_stage, radices)
+        ("METROJR-ORBIT (hw=0, vtd=1)", 0, 1, 25, False, (2, 2, 2, 4)),
+        ("METROJR hw=1 full custom (vtd=3)", 1, 3, 2, False, (2, 2, 2, 4)),
+        ("METRO i=o=8 std cell (2-stage, vtd=1)", 0, 1, 10, True, (4, 8)),
+    ]
+    for label, hw, vtd_depth, t_clk, two_stage, radices in cases:
+        predicted_ns = EQ.t_20_32(
+            t_clk,
+            t_io=vtd_depth * t_clk - EQ.DEFAULT_T_WIRE,  # pin vtd exactly
+            hw=hw,
+            w=4,
+            stage_radices=radices,
+        )
+        predicted_cycles = predicted_ns / t_clk
+        measured_cycles = _measure_one_way_cycles(
+            hw, vtd_depth, seed=51, two_stage=two_stage
+        )
+        rows.append(
+            {
+                "configuration": label,
+                "model_cycles": predicted_cycles,
+                "simulated_cycles": measured_cycles,
+                "ratio": measured_cycles / predicted_cycles,
+            }
+        )
+    return rows
+
+
+def test_table3_crosscheck(benchmark, report):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="Table 4 arithmetic vs. cycle simulation "
+            "(one-way 20-byte delivery, 32-node network)",
+            floatfmt="{:.2f}",
+        ),
+        name="table3_crosscheck",
+    )
+    for row in rows:
+        # Within 10%: the +1 attach wire and +1 checksum word are the
+        # only discrepancies, both < 5% of the total here.
+        assert row["ratio"] == 1.0 or abs(row["ratio"] - 1.0) < 0.10, row

@@ -1,0 +1,43 @@
+"""Table 3: METRO implementation examples.
+
+Regenerates every row of the paper's Table 3 from the Table 4
+equations and checks the printed values match the paper exactly.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.latency_model.implementations import table3_implementations
+
+
+def _build_rows():
+    rows = []
+    for impl in table3_implementations():
+        row = impl.row()
+        row["paper_t_20_32"] = impl.expected_t_20_32
+        rows.append(row)
+    return rows
+
+
+def test_table3_rows(benchmark, report):
+    rows = benchmark(_build_rows)
+    report(
+        format_table(
+            rows,
+            columns=[
+                "name",
+                "technology",
+                "t_clk_ns",
+                "t_io_ns",
+                "t_stg_ns",
+                "t_bit",
+                "stages",
+                "t_20_32_ns",
+                "paper_t_20_32",
+            ],
+            title="Table 3: METRO implementation examples (regenerated)",
+        ),
+        name="table3",
+    )
+    for row in rows:
+        assert row["t_20_32_ns"] == pytest.approx(row["paper_t_20_32"]), row["name"]

@@ -1,0 +1,53 @@
+"""Table 5: contemporary routing technologies.
+
+Recomputes each t_20,32 estimate from published latency/channel-rate
+figures with the paper's recipe and prints it beside the paper's
+printed value.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.latency_model.contemporaries import table5_contemporaries
+from repro.latency_model.implementations import metrojr_orbit
+
+
+def _build_rows():
+    rows = [c.row() for c in table5_contemporaries()]
+    orbit = metrojr_orbit()
+    rows.append(
+        {
+            "router": "(this paper) METROJR-ORBIT",
+            "latency": "50 ns/stage x 4",
+            "t_bit": "25 ns/4 b",
+            "t_20_32_paper_ns": (1250, 1250),
+            "t_20_32_estimate_ns": (orbit.t_20_32(), orbit.t_20_32()),
+            "reference": "Table 3",
+        }
+    )
+    return rows
+
+
+def test_table5_rows(benchmark, report):
+    rows = benchmark(_build_rows)
+    report(
+        format_table(
+            rows,
+            columns=[
+                "router",
+                "latency",
+                "t_bit",
+                "t_20_32_estimate_ns",
+                "t_20_32_paper_ns",
+                "reference",
+            ],
+            title="Table 5: contemporary routing technologies (estimates regenerated)",
+            floatfmt="{:.0f}",
+        ),
+        name="table5",
+    )
+    for contemporary in table5_contemporaries():
+        est = contemporary.estimate_t_20_32()
+        paper = contemporary.paper_t_20_32_ns
+        assert est[0] == pytest.approx(paper[0], rel=0.15)
+        assert est[1] == pytest.approx(paper[1], rel=0.15)

@@ -1,0 +1,33 @@
+"""Benchmark support: a reporter that survives pytest's capture.
+
+Every benchmark regenerates a table or series from the paper.  The
+``report`` fixture prints it to the live terminal (bypassing capture,
+so ``pytest benchmarks/ --benchmark-only`` shows the rows) and saves a
+copy under ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report(request):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    capture = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _report(text, name=None):
+        block = "\n" + text + "\n"
+        if capture is not None:
+            with capture.global_and_fixture_disabled():
+                print(block)
+        else:
+            print(block)
+        filename = name or request.node.name
+        path = os.path.join(RESULTS_DIR, filename + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _report

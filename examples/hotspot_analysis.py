@@ -1,0 +1,66 @@
+"""Congestion analysis: find the hot routers under a skewed workload.
+
+Attaches a utilization probe to the Figure 3 network, drives a
+hotspot workload (a fraction of all traffic targets one endpoint), and
+prints per-stage utilization plus the hottest routers — then shows the
+measured latency penalty the hotspot victims pay versus bystanders.
+
+Run:  python examples/hotspot_analysis.py
+"""
+
+from repro.endpoint.traffic import HotspotTraffic
+from repro.harness.load_sweep import figure3_network
+from repro.harness.reporting import format_table
+from repro.harness.utilization import attach_probe
+
+HOT = 0
+FRACTION = 0.5
+RATE = 0.05
+
+
+def main():
+    network = figure3_network(seed=77)
+    probe = attach_probe(network, period=2)
+    traffic = HotspotTraffic(
+        64, 8, rate=RATE, hotspot=HOT, fraction=FRACTION,
+        message_words=20, seed=78,
+    )
+    traffic.attach(network)
+    network.run(6000)
+
+    print("Workload: {}% of traffic to endpoint {} (rate {})\n".format(
+        int(FRACTION * 100), HOT, RATE))
+
+    stages = probe.stage_utilization()
+    print(format_table(
+        [{"stage": s, "mean utilization": u, "imbalance (max/mean)":
+          probe.imbalance(s)} for s, u in sorted(stages.items())],
+        title="Per-stage backward-port utilization",
+        floatfmt="{:.3f}",
+    ))
+
+    print()
+    hottest = probe.hottest(6)
+    print(format_table(
+        [{"router": "r{}.{}.{}".format(*key), "utilization": value}
+         for key, value in hottest],
+        title="Hottest routers (expect the final-stage routers of "
+        "endpoint {}'s block)".format(HOT),
+        floatfmt="{:.3f}",
+    ))
+
+    # Latency split: messages to the hotspot vs everyone else.
+    to_hot = [m.latency for m in network.log.delivered() if m.dest == HOT]
+    to_rest = [m.latency for m in network.log.delivered() if m.dest != HOT]
+    print()
+    print("Delivered to hotspot: {} msgs, mean latency {:.1f} cycles".format(
+        len(to_hot), sum(to_hot) / len(to_hot)))
+    print("Delivered elsewhere:  {} msgs, mean latency {:.1f} cycles".format(
+        len(to_rest), sum(to_rest) / len(to_rest)))
+    print("\nStochastic selection keeps the early stages balanced; the "
+          "pain concentrates exactly where the paper says it must — on "
+          "the hot endpoint's own final-stage ports, where retries queue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Scan-controlled configuration: the Table 2 options over a TAP.
+
+Walks a METRO router's IEEE 1149.1 TAP through the operations the
+paper describes (Section 5.1, Scan Support): read the IDCODE,
+reconfigure dilation and fast reclamation through the configuration
+chain, disable a port for isolated testing while the router keeps
+routing, and fall back to the second TAP port (MultiTAP) when the
+first scan path fails.
+
+Run:  python examples/scan_configuration.py
+"""
+
+from repro.core.parameters import RouterParameters
+from repro.core.router import MetroRouter
+from repro.scan.controller import ScanController, attach_scan
+from repro.scan.registers import config_chain_width, make_idcode
+
+
+def main():
+    params = RouterParameters(i=8, o=8, w=8, max_d=2, sp=2)
+    router = MetroRouter(params, name="hub")
+    attach_scan(router)
+    scan = ScanController(router, port=0)
+
+    idcode = scan.read_idcode()
+    print("IDCODE: {:#010x} (expected {:#010x})".format(
+        idcode, make_idcode(params)))
+    print("Configuration chain: {} bits for {} ports".format(
+        config_chain_width(params), params.i + params.o))
+
+    print("\nDilation {} (radix {})".format(
+        router.config.dilation, router.config.radix))
+    scan.set_dilation(1)
+    print("After scan write: dilation {} (radix {})".format(
+        router.config.dilation, router.config.radix))
+    scan.set_dilation(2)
+
+    port_id = router.config.forward_port_id(3)
+    scan.set_fast_reclaim(port_id, True)
+    print("\nFast reclamation on forward port 3: {}".format(
+        router.config.fast_reclaim[port_id]))
+
+    victim = router.config.backward_port_id(5)
+    scan.disable_port(victim, drive=True)
+    print("Backward port 5 disabled for isolated testing "
+          "(off-port drive on); other {} ports still in service".format(
+              params.i + params.o - 1))
+    scan.enable_port(victim)
+    print("...and returned to service.")
+
+    print("\nMultiTAP: killing scan port 0, continuing on port 1")
+    router.multitap.kill_port(0)
+    backup = ScanController(router, port=1)
+    print("Port 1 reads IDCODE: {:#010x}".format(backup.read_idcode()))
+
+
+if __name__ == "__main__":
+    main()

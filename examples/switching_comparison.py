@@ -1,0 +1,57 @@
+"""Circuit switching vs. packet switching on one topology.
+
+Section 2 of the paper argues that short-haul networks should circuit
+switch.  This example runs the two disciplines — METRO and the
+library's buffered wormhole baseline — over the *same* Figure 3
+multibutterfly with the same 20-byte traffic and prints the trade:
+
+* METRO: stateless routers, reliable acknowledged delivery, retries
+  under contention;
+* wormhole: buffered routers, fire-and-forget delivery, contention
+  absorbed in FIFOs.
+
+Run:  python examples/switching_comparison.py
+"""
+
+from repro.baseline.harness import run_wormhole_point
+from repro.harness.load_sweep import run_load_point
+from repro.harness.reporting import format_table
+from repro.network.topology import figure3_plan
+
+
+def main():
+    plan = figure3_plan()
+    rows = []
+    for rate in (0.005, 0.04, 0.16):
+        metro = run_load_point(
+            rate, seed=61, warmup_cycles=500, measure_cycles=2000
+        )
+        wormhole = run_wormhole_point(
+            plan, rate, seed=61, warmup_cycles=500, measure_cycles=2000
+        )
+        rows.append(
+            {
+                "rate": rate,
+                "METRO load": metro.delivered_load,
+                "METRO latency (acked)": metro.mean_latency,
+                "METRO retries/msg": metro.mean_attempts - 1,
+                "wormhole load": wormhole.delivered_load,
+                "wormhole latency (no ack)": wormhole.mean_latency,
+            }
+        )
+    print(format_table(
+        rows,
+        title="Same network, two switching disciplines (20-byte messages)",
+        floatfmt="{:.2f}",
+    ))
+    print(
+        "\nRead with care: METRO's latency includes the acknowledgment\n"
+        "round trip and end-to-end verification; the wormhole number is\n"
+        "unacknowledged arrival.  The wormhole baseline buys its load\n"
+        "curve with per-router FIFOs and credit flow control — the very\n"
+        "machinery Section 2 argues short-haul networks can shed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""METRO: a router architecture for high-performance short-haul routing
+networks — a full reproduction of the ISCA 1994 paper.
+
+Quick start::
+
+    from repro import build_network, figure1_plan, Message
+
+    network = build_network(figure1_plan(), seed=1)
+    message = network.send(6, Message(dest=15, payload=[1, 2, 3]))
+    network.run_until_quiet()
+    assert message.outcome == "delivered"
+
+Packages:
+
+* :mod:`repro.core` — the METRO router itself.
+* :mod:`repro.network` — multibutterfly/fat-tree construction.
+* :mod:`repro.endpoint` — source-responsible network interfaces.
+* :mod:`repro.faults` — fault injection and diagnosis.
+* :mod:`repro.scan` — IEEE 1149.1 TAP / MultiTAP configuration.
+* :mod:`repro.latency_model` — the Table 3/4/5 analytical models.
+* :mod:`repro.harness` — experiment runners for every paper figure.
+"""
+
+from repro.core import METROJR, MetroRouter, RouterConfig, RouterParameters
+from repro.endpoint import Endpoint, Message, MessageLog
+from repro.network import (
+    HeaderCodec,
+    MetroNetwork,
+    NetworkPlan,
+    StageSpec,
+    build_network,
+    figure1_plan,
+    figure3_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Endpoint",
+    "HeaderCodec",
+    "METROJR",
+    "Message",
+    "MessageLog",
+    "MetroNetwork",
+    "MetroRouter",
+    "NetworkPlan",
+    "RouterConfig",
+    "RouterParameters",
+    "StageSpec",
+    "build_network",
+    "figure1_plan",
+    "figure3_plan",
+    "__version__",
+]

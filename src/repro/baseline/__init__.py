@@ -1,0 +1,28 @@
+"""Baseline switching disciplines for comparison with METRO.
+
+The paper argues (Section 2) that for *short-haul* distances circuit
+switching beats the packet switching that long-haul networks need.
+This package provides the counterpart to test that argument in
+simulation: an input-buffered, credit-flow-controlled wormhole router
+(:mod:`repro.baseline.wormhole`) assembled over the *same* topologies
+by :func:`repro.baseline.builder.build_wormhole_network`.
+"""
+
+from repro.baseline.builder import WormholeNetwork, build_wormhole_network
+from repro.baseline.wormhole import (
+    Flit,
+    Packet,
+    WormholeRouter,
+    WormholeSink,
+    WormholeSource,
+)
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "WormholeNetwork",
+    "WormholeRouter",
+    "WormholeSink",
+    "WormholeSource",
+    "build_wormhole_network",
+]

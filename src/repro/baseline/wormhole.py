@@ -1,0 +1,355 @@
+"""A wormhole packet-switched baseline router.
+
+Section 2 of the paper contrasts METRO's circuit switching with the
+packet switching used by long-haul networks and by contemporary
+multiprocessor routers (J-Machine, CM-5, C104 in Table 5).  To compare
+the *switching disciplines* — not just analytical estimates — this
+module implements the classic alternative on the same simulation
+substrate: an input-buffered, credit-flow-controlled wormhole router.
+
+Semantics (standard early-1990s wormhole):
+
+* a packet is a HEAD flit (carrying the destination's remaining
+  direction digits), BODY flits (payload words), and a TAIL flit
+  (checksum);
+* each forward port has a flit FIFO of depth ``buffer_depth``;
+  credit-based backpressure (the credit return rides the channel's
+  reverse sideband) guarantees no overflow and no flit loss;
+* a HEAD at the queue front requests an output in its direction's
+  dilation group (random among free ones, for comparability with
+  METRO); if none is free it *waits in the buffer* — blocked packets
+  are never dropped, so there are no retries and no acks;
+* the output stays allocated until the TAIL passes (wormhole).
+
+What the comparison shows is the paper's Section 2 trade: the wormhole
+network needs buffers in every router and a flow-control round trip
+per hop, but absorbs contention in place; METRO keeps routers
+stateless and pays for contention with retries.  For short-haul
+distances and message sizes, both land in the same latency regime —
+with METRO ahead when paths are free and behind under heavy hotspots.
+"""
+
+import random
+
+from repro.core import words as W
+from repro.sim.component import Component
+
+HEAD = "head"
+BODY = "body"
+TAIL = "tail"
+
+
+class Flit:
+    """One flow-control unit on a wormhole wire."""
+
+    __slots__ = ("kind", "value", "digits", "packet_id")
+
+    def __init__(self, kind, value=0, digits=None, packet_id=None):
+        self.kind = kind
+        self.value = value
+        #: Remaining per-stage direction digits (HEAD flits only).
+        self.digits = digits
+        self.packet_id = packet_id
+
+    def __repr__(self):
+        return "<Flit {} {}>".format(self.kind, self.value)
+
+
+class Packet:
+    """Source-side record of one injected packet."""
+
+    def __init__(self, packet_id, dest, payload):
+        self.packet_id = packet_id
+        self.dest = dest
+        self.payload = list(payload)
+        self.queued_cycle = None
+        self.start_cycle = None
+        self.done_cycle = None
+        self.checksum_ok = None
+
+    @property
+    def latency(self):
+        if self.done_cycle is None or self.start_cycle is None:
+            return None
+        return self.done_cycle - self.start_cycle
+
+    @property
+    def total_latency(self):
+        if self.done_cycle is None or self.queued_cycle is None:
+            return None
+        return self.done_cycle - self.queued_cycle
+
+
+class _InputPort:
+    __slots__ = ("fifo", "route_output")
+
+    def __init__(self):
+        self.fifo = []
+        self.route_output = None  # output port locked by current packet
+
+
+class WormholeRouter(Component):
+    """Input-buffered wormhole router on METRO's port geometry.
+
+    :param i: input (forward) ports.
+    :param o: output (backward) ports.
+    :param dilation: outputs per logical direction (radix = o/dilation).
+    :param buffer_depth: flits of input buffering per port.
+    :param seed: randomness for output selection and input service order.
+    :param store_and_forward: hold each packet until its TAIL has fully
+        arrived before requesting an output — the long-haul discipline
+        of Section 2, where "an interconnection channel is allocated to
+        a message for only long enough for the message to be injected".
+        Requires ``buffer_depth`` >= the largest packet (head + payload
+        + tail); the router raises if a packet cannot fit.
+    """
+
+    def __init__(self, i=4, o=4, dilation=2, buffer_depth=4, seed=0,
+                 name="wormhole", store_and_forward=False):
+        if o % dilation:
+            raise ValueError("dilation must divide o")
+        self.name = name
+        self.i = i
+        self.o = o
+        self.dilation = dilation
+        self.radix = o // dilation
+        self.buffer_depth = buffer_depth
+        self.store_and_forward = store_and_forward
+        self._rng = random.Random(seed)
+        self.forward_ends = [None] * i
+        self.backward_ends = [None] * o
+        self._inputs = [_InputPort() for _ in range(i)]
+        self._output_owner = [None] * o     # input index holding each output
+        self._credits = [buffer_depth] * o  # downstream buffer space
+
+    def attach_forward(self, port, channel_end):
+        self.forward_ends[port] = channel_end
+
+    def attach_backward(self, port, channel_end):
+        self.backward_ends[port] = channel_end
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle):
+        self._collect_credits()
+        self._accept_flits()
+        self._forward_flits()
+
+    def _collect_credits(self):
+        for q, end in enumerate(self.backward_ends):
+            if end is None:
+                continue
+            credit = end.recv_bcb()
+            if credit:
+                self._credits[q] += credit
+                if self._credits[q] > self.buffer_depth:
+                    raise AssertionError(
+                        "{}: credit overflow on output {}".format(self.name, q)
+                    )
+
+    def _accept_flits(self):
+        for p, end in enumerate(self.forward_ends):
+            if end is None:
+                continue
+            flit = end.recv()
+            if flit is None:
+                continue
+            fifo = self._inputs[p].fifo
+            if len(fifo) >= self.buffer_depth:
+                raise AssertionError(
+                    "{}: buffer overflow on input {} (credit protocol "
+                    "violated)".format(self.name, p)
+                )
+            fifo.append(flit)
+
+    def _forward_flits(self):
+        order = list(range(self.i))
+        self._rng.shuffle(order)  # fair service among inputs
+        used_outputs = set()
+        for p in order:
+            port = self._inputs[p]
+            if not port.fifo:
+                continue
+            flit = port.fifo[0]
+            if port.route_output is None:
+                if flit.kind != HEAD:
+                    raise AssertionError(
+                        "{}: body flit with no route on input {}".format(
+                            self.name, p
+                        )
+                    )
+                if self.store_and_forward and not any(
+                    buffered.kind == TAIL for buffered in port.fifo
+                ):
+                    # Whole-packet buffering: wait for the tail.  A
+                    # packet larger than the buffer can never satisfy
+                    # this — the classic store-and-forward constraint.
+                    if len(port.fifo) >= self.buffer_depth:
+                        raise AssertionError(
+                            "{}: packet exceeds store-and-forward buffer "
+                            "({} flits)".format(self.name, self.buffer_depth)
+                        )
+                    continue
+                output = self._allocate(flit, used_outputs)
+                if output is None:
+                    continue  # blocked: wait in buffer
+                port.route_output = output
+                self._output_owner[output] = p
+                flit = Flit(
+                    HEAD,
+                    flit.value,
+                    digits=flit.digits[1:],
+                    packet_id=flit.packet_id,
+                )
+            output = port.route_output
+            if output in used_outputs or self._credits[output] <= 0:
+                continue  # downstream full or output busy this cycle
+            used_outputs.add(output)
+            self._credits[output] -= 1
+            port.fifo.pop(0)
+            self.backward_ends[output].send(flit)
+            # Return a credit upstream for the freed buffer slot.
+            self.forward_ends[p].send_bcb(1)
+            if flit.kind == TAIL:
+                self._output_owner[output] = None
+                port.route_output = None
+
+    def _allocate(self, head, used_outputs):
+        direction = head.digits[0]
+        group = range(direction * self.dilation, (direction + 1) * self.dilation)
+        candidates = [
+            q
+            for q in group
+            if self._output_owner[q] is None
+            and q not in used_outputs
+            and self._credits[q] > 0
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    # ------------------------------------------------------------------
+
+    def is_quiescent(self):
+        return all(not port.fifo for port in self._inputs) and all(
+            owner is None for owner in self._output_owner
+        )
+
+    def buffered_flits(self):
+        return sum(len(port.fifo) for port in self._inputs)
+
+
+class WormholeSource(Component):
+    """Endpoint injector: packetizes messages, respects link credits."""
+
+    def __init__(self, index, digits_of, buffer_depth=4, name=None):
+        self.index = index
+        self.name = name or "wsrc{}".format(index)
+        self.digits_of = digits_of
+        self.ends = []
+        self._credits = []
+        self.buffer_depth = buffer_depth
+        self._queue = []       # packets waiting
+        self._current = None   # (end_index, flits, position, packet)
+        self._next_id = 0
+        self.traffic_source = None
+        self.sent = []
+        self.by_id = {}
+
+    def attach_source(self, channel_end):
+        self.ends.append(channel_end)
+        self._credits.append(self.buffer_depth)
+
+    def submit(self, dest, payload, cycle=None):
+        packet = Packet((self.index, self._next_id), dest, payload)
+        self._next_id += 1
+        packet.queued_cycle = cycle
+        self._queue.append(packet)
+        self.by_id[packet.packet_id] = packet
+        return packet
+
+    def idle(self):
+        return not self._queue and self._current is None
+
+    def tick(self, cycle):
+        for k, end in enumerate(self.ends):
+            credit = end.recv_bcb()
+            if credit:
+                self._credits[k] += credit
+        if self.traffic_source is not None and self.idle():
+            generated = self.traffic_source(cycle)
+            if generated is not None:
+                dest, payload = generated
+                self.submit(dest, payload, cycle=cycle)
+        if self._current is None and self._queue:
+            packet = self._queue.pop(0)
+            if packet.queued_cycle is None:
+                packet.queued_cycle = cycle
+            packet.start_cycle = cycle
+            flits = self._packetize(packet)
+            end_index = max(
+                range(len(self.ends)), key=lambda k: self._credits[k]
+            )
+            self._current = [end_index, flits, 0, packet]
+            self.sent.append(packet)
+        if self._current is not None:
+            end_index, flits, position, packet = self._current
+            if self._credits[end_index] > 0:
+                self.ends[end_index].send(flits[position])
+                self._credits[end_index] -= 1
+                position += 1
+                if position >= len(flits):
+                    self._current = None
+                else:
+                    self._current[2] = position
+
+    def _packetize(self, packet):
+        digits = self.digits_of(packet.dest)
+        flits = [Flit(HEAD, 0, digits=digits, packet_id=packet.packet_id)]
+        flits.extend(
+            Flit(BODY, value, packet_id=packet.packet_id)
+            for value in packet.payload
+        )
+        flits.append(
+            Flit(TAIL, W.checksum_of(packet.payload), packet_id=packet.packet_id)
+        )
+        return flits
+
+
+class WormholeSink(Component):
+    """Endpoint receiver: reassembles packets, verifies checksums."""
+
+    def __init__(self, index, on_delivery, name=None):
+        self.index = index
+        self.name = name or "wsink{}".format(index)
+        self.on_delivery = on_delivery
+        self.ends = []
+        self._partial = []
+        self.received = 0
+        self.checksum_failures = 0
+
+    def attach_receive(self, channel_end):
+        self.ends.append(channel_end)
+        self._partial.append(None)
+
+    def tick(self, cycle):
+        for k, end in enumerate(self.ends):
+            flit = end.recv()
+            if flit is None:
+                continue
+            end.send_bcb(1)  # the sink consumes instantly: credit back
+            if flit.kind == HEAD:
+                self._partial[k] = (flit.packet_id, [])
+            elif flit.kind == BODY:
+                if self._partial[k] is not None:
+                    self._partial[k][1].append(flit.value)
+            elif flit.kind == TAIL:
+                if self._partial[k] is None:
+                    continue
+                packet_id, payload = self._partial[k]
+                self._partial[k] = None
+                self.received += 1
+                ok = W.checksum_of(payload) == flit.value
+                if not ok:
+                    self.checksum_failures += 1
+                self.on_delivery(packet_id, payload, ok, cycle)

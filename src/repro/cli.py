@@ -1,0 +1,256 @@
+"""Command-line interface: regenerate paper results from a terminal.
+
+::
+
+    python -m repro table3
+    python -m repro table5
+    python -m repro figure1
+    python -m repro figure3 --measure 2500 --rates 0.002,0.02,0.16
+    python -m repro faults --links 8 --routers 4
+    python -m repro saturation
+    python -m repro send 5 15 --network figure1
+"""
+
+import argparse
+import sys
+
+
+def _cmd_table3(args):
+    from repro.harness.reporting import format_table
+    from repro.latency_model.implementations import table3_implementations
+
+    rows = [impl.row() for impl in table3_implementations()]
+    print(format_table(rows, title="Table 3: METRO implementation examples"))
+    return 0
+
+
+def _cmd_table5(args):
+    from repro.harness.reporting import format_table
+    from repro.latency_model.contemporaries import table5_contemporaries
+
+    rows = [c.row() for c in table5_contemporaries()]
+    print(
+        format_table(
+            rows,
+            columns=[
+                "router",
+                "latency",
+                "t_bit",
+                "t_20_32_estimate_ns",
+                "t_20_32_paper_ns",
+                "reference",
+            ],
+            title="Table 5: contemporary routing technologies",
+            floatfmt="{:.0f}",
+        )
+    )
+    return 0
+
+
+def _cmd_figure1(args):
+    import random
+
+    from repro.network import analysis
+    from repro.network.multibutterfly import wire
+    from repro.network.topology import figure1_plan
+
+    plan = figure1_plan()
+    links = wire(plan, rng=random.Random(args.seed))
+    graph = analysis.build_graph(plan, links)
+    print("Figure 1: 16x16 multipath network")
+    print("  stages: {} | routers/stage: {}".format(
+        plan.n_stages, [plan.routers_in_stage(s) for s in range(plan.n_stages)]))
+    print("  paths endpoint 6 -> 16: {}".format(
+        analysis.count_paths(plan, graph, 5, 15)))
+    print("  min route diversity over all pairs: {}".format(
+        analysis.min_route_diversity(plan, graph)))
+    for stage in range(plan.n_stages):
+        ok = analysis.tolerates_any_single_router_loss(plan, graph, stage)
+        print("  survives any single stage-{} router loss: {}".format(stage, ok))
+    return 0
+
+
+def _cmd_figure3(args):
+    from repro.harness.load_sweep import figure3_sweep, unloaded_latency
+    from repro.harness.reporting import ascii_chart, format_series, results_to_series
+
+    rates = tuple(float(r) for r in args.rates.split(","))
+    base = unloaded_latency(seed=args.seed, samples=8)
+    print("Unloaded latency: {:.1f} cycles (paper: 28)\n".format(base))
+    results = figure3_sweep(
+        rates=rates,
+        seed=args.seed,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+    )
+    print(
+        format_series(
+            results_to_series(results),
+            x_label="label",
+            y_labels=["delivered_load", "mean_latency", "p95_latency", "mean_attempts"],
+            title="Figure 3: latency vs. network loading",
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            [(r.delivered_load, r.mean_latency) for r in results],
+            title="latency vs delivered load",
+            x_label="delivered load (words/endpoint-cycle)",
+            y_label="mean latency (cycles)",
+        )
+    )
+    return 0
+
+
+def _cmd_faults(args):
+    from repro.harness.fault_sweep import run_fault_point
+    from repro.harness.reporting import format_table
+
+    result = run_fault_point(
+        n_dead_links=args.links,
+        n_dead_routers=args.routers,
+        rate=args.rate,
+        seed=args.seed,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+    )
+    print(format_table([result.as_dict()], title="Fault degradation point"))
+    return 0
+
+
+def _cmd_breakdown(args):
+    from repro.harness.breakdown import measure_breakdown
+    from repro.harness.load_sweep import figure3_network
+    from repro.harness.reporting import format_table
+
+    rows = []
+    for words in (1, 4, 20, 60):
+        breakdown = measure_breakdown(
+            figure3_network, message_words=words, samples=6, seed=args.seed
+        )
+        row = {"message_words": words}
+        row.update(breakdown.as_dict())
+        row["injection_dominates"] = breakdown.injection_dominates
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title="Latency decomposition (Figure 3 network, unloaded): "
+            "the short-haul condition is injection >= transit",
+        )
+    )
+    return 0
+
+
+def _cmd_saturation(args):
+    from repro.harness.reporting import format_series, results_to_series
+    from repro.harness.saturation import find_saturation
+
+    saturated, results = find_saturation(
+        seed=args.seed, measure_cycles=args.measure
+    )
+    print(
+        format_series(
+            results_to_series(results),
+            x_label="label",
+            y_labels=["delivered_load", "mean_latency", "mean_attempts"],
+            title="Saturation search (Figure 3 network)",
+        )
+    )
+    print(
+        "\nSaturation: ~{:.2f} words/endpoint-cycle at {}".format(
+            saturated.delivered_load, saturated.label
+        )
+    )
+    return 0
+
+
+def _cmd_send(args):
+    from repro.endpoint.messages import Message
+    from repro.network.builder import build_network
+    from repro.network.fattree import fattree_plan
+    from repro.network.topology import figure1_plan, figure3_plan
+    from repro.sim.trace import Trace
+
+    plans = {
+        "figure1": figure1_plan,
+        "figure3": figure3_plan,
+        "fattree": fattree_plan,
+    }
+    trace = Trace()
+    network = build_network(
+        plans[args.network](), seed=args.seed, trace=trace, trace_routers=True
+    )
+    message = network.send(args.src, Message(dest=args.dest, payload=[1, 2, 3, 4]))
+    network.run_until_quiet(max_cycles=50000)
+    print(
+        "{} -> {}: {} in {} cycles, {} attempt(s)".format(
+            args.src, args.dest, message.outcome, message.latency, message.attempts
+        )
+    )
+    if args.verbose:
+        for event in trace.events:
+            print("  @{:>4} {:>10} {:<22} {}".format(
+                event.cycle, event.source, event.kind, event.detail))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="METRO (ISCA 1994) reproduction: regenerate paper results.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="Table 3 implementation examples")
+    sub.add_parser("table5", help="Table 5 contemporary comparison")
+    sub.add_parser("figure1", help="Figure 1 structural statistics")
+
+    fig3 = sub.add_parser("figure3", help="Figure 3 latency/load sweep")
+    fig3.add_argument("--rates", default="0.002,0.01,0.04,0.16")
+    fig3.add_argument("--warmup", type=int, default=600)
+    fig3.add_argument("--measure", type=int, default=2500)
+
+    faults = sub.add_parser("faults", help="fault-degradation point")
+    faults.add_argument("--links", type=int, default=8)
+    faults.add_argument("--routers", type=int, default=0)
+    faults.add_argument("--rate", type=float, default=0.02)
+    faults.add_argument("--warmup", type=int, default=600)
+    faults.add_argument("--measure", type=int, default=2500)
+
+    saturation = sub.add_parser("saturation", help="find saturation throughput")
+    saturation.add_argument("--measure", type=int, default=2000)
+
+    sub.add_parser("breakdown", help="latency decomposition by message size")
+
+    send = sub.add_parser("send", help="trace one message end to end")
+    send.add_argument("src", type=int)
+    send.add_argument("dest", type=int)
+    send.add_argument("--network", choices=("figure1", "figure3", "fattree"),
+                      default="figure1")
+    send.add_argument("--verbose", "-v", action="store_true")
+
+    return parser
+
+
+_COMMANDS = {
+    "table3": _cmd_table3,
+    "table5": _cmd_table5,
+    "figure1": _cmd_figure1,
+    "figure3": _cmd_figure3,
+    "faults": _cmd_faults,
+    "breakdown": _cmd_breakdown,
+    "saturation": _cmd_saturation,
+    "send": _cmd_send,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

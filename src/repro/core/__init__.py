@@ -1,0 +1,50 @@
+"""The METRO router architecture — the paper's primary contribution.
+
+Submodules:
+
+* :mod:`~repro.core.words` — data/control word encoding (DATA-IDLE,
+  TURN, DROP, STATUS) and checksums.
+* :mod:`~repro.core.parameters` — Table 1 architectural parameters and
+  Table 2 configuration options.
+* :mod:`~repro.core.random_source` — random bit streams for stochastic
+  path selection, including the shared bus for width cascading.
+* :mod:`~repro.core.crossbar` — the dilated crossbar allocator.
+* :mod:`~repro.core.router` — the router component itself.
+* :mod:`~repro.core.cascade` — width cascading of narrow routers.
+"""
+
+from repro.core.crossbar import CrossbarAllocator, FIRST_FREE, RANDOM, ROUND_ROBIN
+from repro.core.parameters import METROJR, RouterConfig, RouterParameters
+from repro.core.random_source import RandomStream, SharedRandomBus
+from repro.core.router import MetroRouter
+from repro.core.words import (
+    Checksum,
+    RouterStatus,
+    Word,
+    checksum_of,
+    data,
+    DROP_WORD,
+    IDLE_WORD,
+    TURN_WORD,
+)
+
+__all__ = [
+    "Checksum",
+    "CrossbarAllocator",
+    "DROP_WORD",
+    "FIRST_FREE",
+    "IDLE_WORD",
+    "METROJR",
+    "MetroRouter",
+    "RANDOM",
+    "ROUND_ROBIN",
+    "RandomStream",
+    "RouterConfig",
+    "RouterParameters",
+    "RouterStatus",
+    "SharedRandomBus",
+    "TURN_WORD",
+    "Word",
+    "checksum_of",
+    "data",
+]

@@ -1,0 +1,195 @@
+"""Architectural parameters (Table 1) and configuration options (Table 2).
+
+The METRO architecture separates *architectural parameters* — fixed at
+implementation time, defining a particular router chip — from
+*configuration options* — scan-programmable each time the component is
+used, some even while in use.  :class:`RouterParameters` captures
+Table 1; :class:`RouterConfig` captures Table 2.
+"""
+
+import math
+
+
+def _is_power_of_two(value):
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+class RouterParameters:
+    """Table 1: the implementation-time parameters of a METRO router.
+
+    :param i: number of forward ports (must be a power of two).
+    :param o: number of backward ports (power of two, >= ``max_d``).
+    :param w: bit width of the data channel (>= log2(o)).
+    :param max_d: maximum dilation (power of two, <= o).
+    :param sp: number of scan paths (>= 1).
+    :param ri: number of random inputs (>= 1).
+    :param hw: header words consumed per router during connection setup
+        (>= 0; 0 means routing bits are shifted out of the head word).
+    :param dp: data pipeline stages inside the router (>= 1).
+    :param max_vtd: maximum per-port variable-turn-delay slots (>= 0).
+    """
+
+    __slots__ = ("i", "o", "w", "max_d", "sp", "ri", "hw", "dp", "max_vtd")
+
+    def __init__(self, i=4, o=4, w=4, max_d=2, sp=1, ri=1, hw=0, dp=1, max_vtd=7):
+        if not _is_power_of_two(i):
+            raise ValueError("i must be a power of two, got {}".format(i))
+        if not _is_power_of_two(o):
+            raise ValueError("o must be a power of two, got {}".format(o))
+        if not _is_power_of_two(max_d):
+            raise ValueError("max_d must be a power of two, got {}".format(max_d))
+        if max_d > o:
+            raise ValueError("max_d ({}) must be <= o ({})".format(max_d, o))
+        if w < math.log2(o):
+            raise ValueError("w ({}) must be >= log2(o) = {}".format(w, math.log2(o)))
+        if sp < 1:
+            raise ValueError("sp must be >= 1, got {}".format(sp))
+        if ri < 1:
+            raise ValueError("ri must be >= 1, got {}".format(ri))
+        if hw < 0:
+            raise ValueError("hw must be >= 0, got {}".format(hw))
+        if dp < 1:
+            raise ValueError("dp must be >= 1, got {}".format(dp))
+        if max_vtd < 0:
+            raise ValueError("max_vtd must be >= 0, got {}".format(max_vtd))
+        self.i = i
+        self.o = o
+        self.w = w
+        self.max_d = max_d
+        self.sp = sp
+        self.ri = ri
+        self.hw = hw
+        self.dp = dp
+        self.max_vtd = max_vtd
+
+    def radix(self, dilation):
+        """Logical radix when configured with the given dilation."""
+        if dilation > self.max_d:
+            raise ValueError(
+                "dilation {} exceeds max_d {}".format(dilation, self.max_d)
+            )
+        if self.o % dilation:
+            raise ValueError(
+                "dilation {} does not divide o {}".format(dilation, self.o)
+            )
+        return self.o // dilation
+
+    def direction_bits(self, dilation):
+        """Routing bits consumed per stage at the given dilation."""
+        return int(math.log2(self.radix(dilation)))
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __eq__(self, other):
+        return isinstance(other, RouterParameters) and self.as_dict() == other.as_dict()
+
+    def __repr__(self):
+        return "RouterParameters({})".format(
+            ", ".join("{}={}".format(k, v) for k, v in self.as_dict().items())
+        )
+
+
+#: The minimal METRO instance the paper fabricated (METROJR-ORBIT):
+#: i = o = w = 4, hw = 0, dp = 1, max_d = 2 (Section 6.1).
+METROJR = RouterParameters(i=4, o=4, w=4, max_d=2, hw=0, dp=1)
+
+
+class RouterConfig:
+    """Table 2: the scan-configurable options of one METRO router.
+
+    Per-port options are indexed by *port id*: forward ports are
+    ``0 .. i-1`` and backward ports are ``i .. i+o-1``, matching the
+    ``i + o`` instance counts in Table 2.
+
+    :param params: the :class:`RouterParameters` this config belongs to.
+    :param dilation: effective dilation, a power of two <= ``max_d``
+        (Section 5.1, *Configurable Dilation*).
+    """
+
+    def __init__(self, params, dilation=None):
+        self.params = params
+        nports = params.i + params.o
+        #: Port On/Off — a disabled port is removed from service and can
+        #: be scanned/tested in isolation (Section 5.1, Scan Support).
+        self.port_enabled = [True] * nports
+        #: Off Port Drive Output — whether a disabled port still drives
+        #: its output pins (useful during port testing).
+        self.off_port_drive = [False] * nports
+        #: Turn Delay — pipeline stages on the wire attached to each
+        #: port; must match the physical link and not exceed max_vtd.
+        self.turn_delay = [min(1, params.max_vtd)] * nports
+        #: Fast Reclaim — per forward port: blocked connections send an
+        #: immediate backward drop instead of waiting for a TURN to
+        #: deliver a detailed status reply.
+        self.fast_reclaim = [False] * nports
+        #: Swallow — per forward port, only meaningful when hw == 0:
+        #: drop the (exhausted) head word after extracting routing bits.
+        self.swallow = [False] * params.i
+        self._dilation = None
+        self.dilation = params.max_d if dilation is None else dilation
+
+    @property
+    def dilation(self):
+        return self._dilation
+
+    @dilation.setter
+    def dilation(self, value):
+        if not _is_power_of_two(value):
+            raise ValueError("dilation must be a power of two, got {}".format(value))
+        if value > self.params.max_d:
+            raise ValueError(
+                "dilation {} exceeds max_d {}".format(value, self.params.max_d)
+            )
+        self._dilation = value
+
+    @property
+    def radix(self):
+        """Logical radix implied by the configured dilation."""
+        return self.params.radix(self._dilation)
+
+    def forward_port_id(self, index):
+        """Port id of forward port ``index``."""
+        if not 0 <= index < self.params.i:
+            raise IndexError("forward port {} out of range".format(index))
+        return index
+
+    def backward_port_id(self, index):
+        """Port id of backward port ``index``."""
+        if not 0 <= index < self.params.o:
+            raise IndexError("backward port {} out of range".format(index))
+        return self.params.i + index
+
+    def set_turn_delay(self, port_id, delay):
+        if delay > self.params.max_vtd:
+            raise ValueError(
+                "turn delay {} exceeds max_vtd {}".format(delay, self.params.max_vtd)
+            )
+        self.turn_delay[port_id] = delay
+
+    def backward_group(self, direction):
+        """Backward-port indices equivalent in the given logical direction.
+
+        With dilation ``d``, backward ports are grouped ``d`` at a time:
+        direction ``g`` owns ports ``g*d .. (g+1)*d - 1``.
+        """
+        d = self._dilation
+        if not 0 <= direction < self.radix:
+            raise ValueError(
+                "direction {} out of range for radix {}".format(direction, self.radix)
+            )
+        return list(range(direction * d, (direction + 1) * d))
+
+    def config_bit_count(self):
+        """Total scan-register bits needed for this config (Table 2)."""
+        params = self.params
+        nports = params.i + params.o
+        turn_bits = max(1, math.ceil(math.log2(params.max_vtd + 1)))
+        return (
+            nports  # port on/off
+            + nports  # off port drive
+            + nports * turn_bits  # turn delay
+            + nports  # fast reclaim
+            + params.i  # swallow
+            + max(1, int(math.log2(params.max_d)))  # dilation
+        )

@@ -1,0 +1,227 @@
+"""Workload generators.
+
+Figure 3 of the paper measures "randomly distributed, 20-byte message
+traffic ... a parallelism limited case where processors stall waiting
+for message completion".  That is a *closed-loop* Bernoulli process:
+an idle endpoint starts a new message with some per-cycle probability
+and then stalls until the acknowledgment returns.  The injection
+probability is the offered-load knob.
+
+Additional generators cover the other workloads a router evaluation
+needs: hotspot concentration, fixed permutations, and a simple trace
+player for reproducible regression workloads.
+"""
+
+import random
+
+from repro.endpoint.messages import Message
+
+
+def random_payload(rng, words, w):
+    """A random payload of ``words`` values of ``w`` bits each."""
+    mask = (1 << w) - 1
+    return [rng.getrandbits(16) & mask for _ in range(words)]
+
+
+class TrafficSource:
+    """Base: a per-endpoint callable factory.
+
+    ``source_for(endpoint_index)`` returns the ``f(cycle) -> Message |
+    None`` an :class:`~repro.endpoint.interface.Endpoint` consults when
+    it has capacity.  Generators count what they hand out, so offered
+    load can be reported exactly.
+    """
+
+    def __init__(self, n_endpoints, w, message_words=20, seed=0):
+        self.n_endpoints = n_endpoints
+        self.w = w
+        self.message_words = message_words
+        self.seed = seed
+        self.generated = 0
+
+    def source_for(self, endpoint_index):
+        raise NotImplementedError
+
+    def attach(self, network):
+        """Install a source on every endpoint of ``network``."""
+        for endpoint in network.endpoints:
+            endpoint.traffic_source = self.source_for(endpoint.index)
+        return self
+
+    def _rng(self, endpoint_index):
+        return random.Random((self.seed << 20) ^ (endpoint_index * 7919 + 13))
+
+    def _message(self, rng, dest):
+        self.generated += 1
+        return Message(
+            dest=dest, payload=random_payload(rng, self.message_words, self.w)
+        )
+
+
+class UniformRandomTraffic(TrafficSource):
+    """Closed-loop Bernoulli injection to uniform-random destinations.
+
+    :param rate: probability an idle endpoint starts a message each
+        cycle (the offered-load knob of Figure 3).
+    :param exclude_self: don't address messages to the sender.
+    """
+
+    def __init__(self, n_endpoints, w, rate=0.01, message_words=20, seed=0,
+                 exclude_self=True):
+        super().__init__(n_endpoints, w, message_words, seed)
+        self.rate = rate
+        self.exclude_self = exclude_self
+
+    def source_for(self, endpoint_index):
+        rng = self._rng(endpoint_index)
+
+        def source(cycle):
+            if rng.random() >= self.rate:
+                return None
+            dest = rng.randrange(self.n_endpoints)
+            while self.exclude_self and dest == endpoint_index:
+                dest = rng.randrange(self.n_endpoints)
+            return self._message(rng, dest)
+
+        return source
+
+
+class HotspotTraffic(TrafficSource):
+    """Uniform traffic with a fraction concentrated on one endpoint."""
+
+    def __init__(self, n_endpoints, w, rate=0.01, hotspot=0, fraction=0.2,
+                 message_words=20, seed=0):
+        super().__init__(n_endpoints, w, message_words, seed)
+        self.rate = rate
+        self.hotspot = hotspot
+        self.fraction = fraction
+
+    def source_for(self, endpoint_index):
+        rng = self._rng(endpoint_index)
+
+        def source(cycle):
+            if rng.random() >= self.rate:
+                return None
+            if rng.random() < self.fraction:
+                dest = self.hotspot
+            else:
+                dest = rng.randrange(self.n_endpoints)
+            if dest == endpoint_index:
+                return None
+            return self._message(rng, dest)
+
+        return source
+
+
+def bit_reverse(value, bits):
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+class PermutationTraffic(TrafficSource):
+    """Every endpoint repeatedly sends to one fixed partner.
+
+    :param permutation: ``"bit-reverse"``, ``"shift"``, or an explicit
+        mapping list.
+    """
+
+    def __init__(self, n_endpoints, w, rate=0.01, permutation="bit-reverse",
+                 message_words=20, seed=0):
+        super().__init__(n_endpoints, w, message_words, seed)
+        self.rate = rate
+        if permutation == "bit-reverse":
+            bits = max(1, (n_endpoints - 1).bit_length())
+            self.mapping = [
+                bit_reverse(e, bits) % n_endpoints for e in range(n_endpoints)
+            ]
+        elif permutation == "shift":
+            self.mapping = [(e + n_endpoints // 2) % n_endpoints
+                            for e in range(n_endpoints)]
+        else:
+            if sorted(permutation) != list(range(n_endpoints)):
+                raise ValueError("explicit permutation must cover all endpoints")
+            self.mapping = list(permutation)
+
+    def source_for(self, endpoint_index):
+        rng = self._rng(endpoint_index)
+        partner = self.mapping[endpoint_index]
+
+        def source(cycle):
+            if rng.random() >= self.rate or partner == endpoint_index:
+                return None
+            return self._message(rng, partner)
+
+        return source
+
+
+def bit_complement(value, bits):
+    return (~value) & ((1 << bits) - 1)
+
+
+def tornado(value, n):
+    """Tornado: each endpoint sends halfway around the ID space."""
+    return (value + (n // 2 - 1)) % n
+
+
+class AdversarialTraffic(TrafficSource):
+    """The classic stress permutations: tornado / complement / neighbor.
+
+    These patterns exist to defeat *structured* networks; a randomized
+    multibutterfly should treat them like any other permutation (see
+    ``benchmarks/bench_ablation_wiring.py`` for the comparison).
+
+    :param pattern: ``"tornado"``, ``"complement"``, or ``"neighbor"``.
+    """
+
+    def __init__(self, n_endpoints, w, rate=0.01, pattern="tornado",
+                 message_words=20, seed=0):
+        super().__init__(n_endpoints, w, message_words, seed)
+        self.rate = rate
+        bits = max(1, (n_endpoints - 1).bit_length())
+        if pattern == "tornado":
+            self.mapping = [tornado(e, n_endpoints) for e in range(n_endpoints)]
+        elif pattern == "complement":
+            self.mapping = [
+                bit_complement(e, bits) % n_endpoints for e in range(n_endpoints)
+            ]
+        elif pattern == "neighbor":
+            self.mapping = [(e + 1) % n_endpoints for e in range(n_endpoints)]
+        else:
+            raise ValueError("unknown pattern {!r}".format(pattern))
+
+    def source_for(self, endpoint_index):
+        rng = self._rng(endpoint_index)
+        partner = self.mapping[endpoint_index]
+
+        def source(cycle):
+            if rng.random() >= self.rate or partner == endpoint_index:
+                return None
+            return self._message(rng, partner)
+
+        return source
+
+
+class TraceTraffic(TrafficSource):
+    """Replays an explicit list of (cycle, src, dest) events."""
+
+    def __init__(self, n_endpoints, w, events, message_words=20, seed=0):
+        super().__init__(n_endpoints, w, message_words, seed)
+        self.events = sorted(events)
+        self._queues = {}
+        for cycle, src, dest in self.events:
+            self._queues.setdefault(src, []).append((cycle, dest))
+
+    def source_for(self, endpoint_index):
+        rng = self._rng(endpoint_index)
+        queue = list(self._queues.get(endpoint_index, []))
+
+        def source(cycle):
+            if not queue or queue[0][0] > cycle:
+                return None
+            _cycle, dest = queue.pop(0)
+            return self._message(rng, dest)
+
+        return source

@@ -1,0 +1,25 @@
+"""Fault models, scheduled injection, and scan-driven diagnosis."""
+
+from repro.faults.injector import (
+    FaultInjector,
+    random_fault_scenario,
+    router_to_router_channels,
+)
+from repro.faults.model import (
+    CorruptLink,
+    DeadLink,
+    DeadRouter,
+    DisabledPort,
+    Fault,
+)
+
+__all__ = [
+    "CorruptLink",
+    "DeadLink",
+    "DeadRouter",
+    "DisabledPort",
+    "Fault",
+    "FaultInjector",
+    "random_fault_scenario",
+    "router_to_router_channels",
+]

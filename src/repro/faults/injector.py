@@ -1,0 +1,95 @@
+"""Scheduled fault injection into a live network simulation."""
+
+import random
+
+from repro.faults.model import DeadLink, DeadRouter
+
+
+class FaultInjector:
+    """Applies faults to a network at scheduled cycles.
+
+    Attach one injector per :class:`~repro.network.builder.MetroNetwork`;
+    it registers a pre-cycle hook with the engine so faults strike
+    between clock edges, exactly like hardware dying mid-operation.
+
+    ::
+
+        injector = FaultInjector(network)
+        injector.at(100, DeadRouter(1, 0, 2))
+        injector.at(500, DeadLink(src_key, dst_key))
+        network.run(...)
+    """
+
+    def __init__(self, network):
+        self.network = network
+        self._scheduled = []  # (cycle, fault, action)
+        self.applied = []     # (cycle, fault) history
+        network.engine.add_pre_cycle_hook(self._hook)
+
+    def at(self, cycle, fault):
+        """Apply ``fault`` just before the given cycle."""
+        self._scheduled.append((cycle, fault, "apply"))
+        return fault
+
+    def revert_at(self, cycle, fault):
+        """Undo ``fault`` just before the given cycle (transients)."""
+        self._scheduled.append((cycle, fault, "revert"))
+        return fault
+
+    def now(self, fault):
+        """Apply ``fault`` immediately (static, pre-run faults)."""
+        fault.apply(self.network)
+        self.applied.append((self.network.engine.cycle, fault))
+        return fault
+
+    def _hook(self, engine):
+        due = [entry for entry in self._scheduled if entry[0] <= engine.cycle]
+        for entry in due:
+            self._scheduled.remove(entry)
+            _cycle, fault, action = entry
+            if action == "apply":
+                fault.apply(self.network)
+                self.applied.append((engine.cycle, fault))
+            else:
+                fault.revert(self.network)
+
+    def pending(self):
+        return list(self._scheduled)
+
+
+def router_to_router_channels(network):
+    """Channel keys of every inter-router wire (endpoint wires excluded)."""
+    keys = []
+    for (src_key, dst_key), _channel in network.channels.items():
+        if src_key[0] == "router" and dst_key[0] == "router":
+            keys.append((src_key, dst_key))
+    return keys
+
+
+def random_fault_scenario(
+    network, n_dead_links=0, n_dead_routers=0, seed=0, exclude_final_stage=False
+):
+    """A reproducible random set of static faults.
+
+    Dead links are drawn from inter-router wires only (killing an
+    endpoint's wire trivially disconnects it, which measures nothing
+    about the network).  Dead routers may exclude the final stage —
+    losing a dilation-1 final router is survivable for topology but
+    removing several can cut every wire into some endpoint.
+    """
+    rng = random.Random(seed)
+    faults = []
+    link_pool = router_to_router_channels(network)
+    rng.shuffle(link_pool)
+    for src_key, dst_key in link_pool[:n_dead_links]:
+        faults.append(DeadLink(src_key=src_key, dst_key=dst_key))
+    router_pool = []
+    last = network.plan.n_stages - 1
+    for (stage, block, index) in network.router_grid:
+        if exclude_final_stage and stage == last:
+            continue
+        router_pool.append((stage, block, index))
+    rng.shuffle(router_pool)
+    for stage, block, index in router_pool[:n_dead_routers]:
+        faults.append(DeadRouter(stage, block, index))
+    return faults

@@ -1,0 +1,193 @@
+"""Fault descriptors.
+
+The METRO fault story (paper, Sections 1, 4, 5.1) distinguishes:
+
+* **static faults** — present before operation; masked by disabling the
+  faulty ports under scan control so they can no longer corrupt
+  traffic;
+* **dynamic faults** — appearing while the network runs; the source
+  detects the damaged connection (missing/blocked status, bad
+  checksum, silence) and retries, and random output selection steers
+  the retry around the fault.
+
+Each descriptor here knows how to ``apply`` itself to a live
+:class:`~repro.network.builder.MetroNetwork` (and, where meaningful,
+``revert``).  Scheduling is the injector's job.
+"""
+
+import random
+
+from repro.core import words as W
+
+LINK_DEAD = "link-dead"
+LINK_CORRUPT = "link-corrupt"
+ROUTER_DEAD = "router-dead"
+PORT_DISABLED = "port-disabled"
+
+
+class Fault:
+    """Base class; subclasses define apply/revert."""
+
+    kind = "fault"
+
+    def apply(self, network):
+        raise NotImplementedError
+
+    def revert(self, network):
+        raise NotImplementedError("{} cannot be reverted".format(self.kind))
+
+    def describe(self):
+        return self.kind
+
+
+class DeadLink(Fault):
+    """A wire that stops conducting in both directions.
+
+    :param src_key: producing port key (``NodeRef.key()``), or pass a
+        ``channel`` directly.
+    """
+
+    kind = LINK_DEAD
+
+    def __init__(self, src_key=None, dst_key=None, channel=None):
+        if channel is None and (src_key is None or dst_key is None):
+            raise ValueError("need channel or (src_key, dst_key)")
+        self.src_key = src_key
+        self.dst_key = dst_key
+        self.channel = channel
+
+    def _resolve(self, network):
+        if self.channel is None:
+            self.channel = network.channels[(self.src_key, self.dst_key)]
+        return self.channel
+
+    def apply(self, network):
+        self._resolve(network).dead = True
+
+    def revert(self, network):
+        self._resolve(network).dead = False
+
+    def describe(self):
+        channel_name = self.channel.name if self.channel is not None else "?"
+        return "{}({})".format(self.kind, channel_name)
+
+
+class CorruptLink(Fault):
+    """A noisy wire: data words are bit-flipped with some probability.
+
+    Control tokens are carried out-of-band in this simulation, so
+    corruption targets data word values — the payload/header bits a
+    real line error would hit.  Per-router checksums (STATUS) localize
+    the corruption; the destination's end-to-end checksum catches it.
+
+    :param probability: chance each traversing data word is damaged.
+    :param mask: XOR pattern applied to a damaged word (default flips
+        the low bit).
+    :param direction: ``"a_to_b"``, ``"b_to_a"`` or ``"both"``.
+    """
+
+    kind = LINK_CORRUPT
+
+    def __init__(
+        self,
+        src_key=None,
+        dst_key=None,
+        channel=None,
+        probability=1.0,
+        mask=0x1,
+        direction="a_to_b",
+        seed=0,
+    ):
+        if channel is None and (src_key is None or dst_key is None):
+            raise ValueError("need channel or (src_key, dst_key)")
+        self.src_key = src_key
+        self.dst_key = dst_key
+        self.channel = channel
+        self.probability = probability
+        self.mask = mask
+        self.direction = direction
+        self._rng = random.Random(seed)
+
+    def _corrupt(self, word):
+        if word.kind != W.DATA:
+            return word
+        if self._rng.random() >= self.probability:
+            return word
+        return W.data(word.value ^ self.mask)
+
+    def _resolve(self, network):
+        if self.channel is None:
+            self.channel = network.channels[(self.src_key, self.dst_key)]
+        return self.channel
+
+    def apply(self, network):
+        channel = self._resolve(network)
+        if self.direction in ("a_to_b", "both"):
+            channel.fault_a_to_b = self._corrupt
+        if self.direction in ("b_to_a", "both"):
+            channel.fault_b_to_a = self._corrupt
+
+    def revert(self, network):
+        channel = self._resolve(network)
+        if self.direction in ("a_to_b", "both"):
+            channel.fault_a_to_b = None
+        if self.direction in ("b_to_a", "both"):
+            channel.fault_b_to_a = None
+
+    def describe(self):
+        channel_name = self.channel.name if self.channel is not None else "?"
+        return "{}({}, p={})".format(self.kind, channel_name, self.probability)
+
+
+class DeadRouter(Fault):
+    """A routing component that fails completely (goes silent)."""
+
+    kind = ROUTER_DEAD
+
+    def __init__(self, stage, block, index):
+        self.stage = stage
+        self.block = block
+        self.index = index
+
+    def _router(self, network):
+        return network.router_grid[(self.stage, self.block, self.index)]
+
+    def apply(self, network):
+        self._router(network).dead = True
+
+    def revert(self, network):
+        self._router(network).dead = False
+
+    def describe(self):
+        return "{}(r{}.{}.{})".format(self.kind, self.stage, self.block, self.index)
+
+
+class DisabledPort(Fault):
+    """A port removed from service (the scan-control masking action).
+
+    Not a fault per se but the *repair* for one: once a faulty region
+    is localized, disabling the ports that touch it masks the fault so
+    it can no longer corrupt traffic (Section 5.1, Scan Support).
+    """
+
+    kind = PORT_DISABLED
+
+    def __init__(self, stage, block, index, port_id):
+        self.stage = stage
+        self.block = block
+        self.index = index
+        self.port_id = port_id
+
+    def _router(self, network):
+        return network.router_grid[(self.stage, self.block, self.index)]
+
+    def apply(self, network):
+        self._router(network).config.port_enabled[self.port_id] = False
+
+    def revert(self, network):
+        self._router(network).config.port_enabled[self.port_id] = True
+
+    def describe(self):
+        return "{}(r{}.{}.{} port {})".format(
+            self.kind, self.stage, self.block, self.index, self.port_id
+        )

@@ -1,0 +1,43 @@
+"""Experiment harness: runners and reporting for every paper figure."""
+
+from repro.harness.batch import ExperimentGrid
+from repro.harness.breakdown import LatencyBreakdown, measure_breakdown
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.fault_sweep import fault_degradation_sweep, run_fault_point
+from repro.harness.utilization import UtilizationProbe, attach_probe
+from repro.harness.load_sweep import (
+    DEFAULT_RATES,
+    figure3_network,
+    figure3_sweep,
+    run_load_point,
+    unloaded_latency,
+)
+from repro.harness.reporting import (
+    ascii_chart,
+    format_series,
+    format_table,
+    results_to_series,
+)
+from repro.harness.saturation import find_saturation
+
+__all__ = [
+    "DEFAULT_RATES",
+    "ExperimentGrid",
+    "ExperimentResult",
+    "LatencyBreakdown",
+    "UtilizationProbe",
+    "ascii_chart",
+    "attach_probe",
+    "measure_breakdown",
+    "fault_degradation_sweep",
+    "find_saturation",
+    "figure3_network",
+    "figure3_sweep",
+    "format_series",
+    "format_table",
+    "results_to_series",
+    "run_experiment",
+    "run_fault_point",
+    "run_load_point",
+    "unloaded_latency",
+]

@@ -1,0 +1,94 @@
+"""Latency decomposition: where do the cycles of a delivery go?
+
+For an unloaded message the timeline is unambiguous:
+
+* **serialization** — one cycle per stream word (header + payload +
+  checksum + TURN) leaving the source;
+* **transit** — the pipeline flight of the stream head through routers
+  and wires;
+* **reply** — reversal, statuses, acknowledgment, and the hand-back.
+
+:func:`measure_breakdown` measures all three from a live simulation
+using the receiver-arrival log, so the short-haul premise ("injection
+time dominates transit", Section 2) can be checked quantitatively for
+any network and message size.
+"""
+
+import random
+
+from repro.endpoint.messages import Message
+
+
+class LatencyBreakdown:
+    """Mean cycles per phase over the sampled messages."""
+
+    def __init__(self, serialization, transit, reply, total):
+        self.serialization = serialization
+        self.transit = transit
+        self.reply = reply
+        self.total = total
+
+    @property
+    def injection_dominates(self):
+        """Section 2's short-haul condition: injection >= transit."""
+        return self.serialization >= self.transit
+
+    def as_dict(self):
+        return {
+            "serialization_cycles": self.serialization,
+            "transit_cycles": self.transit,
+            "reply_cycles": self.reply,
+            "total_cycles": self.total,
+        }
+
+    def __repr__(self):
+        return (
+            "<LatencyBreakdown serialization={:.1f} transit={:.1f} "
+            "reply={:.1f} total={:.1f}>".format(
+                self.serialization, self.transit, self.reply, self.total
+            )
+        )
+
+
+def measure_breakdown(network_factory, message_words=20, samples=10, seed=0):
+    """Decompose unloaded delivery latency on a fresh network.
+
+    One message at a time: the arrival log entry therefore belongs to
+    the in-flight message, and
+
+    * serialization = words in the stream (header + payload + checksum
+      + TURN), known exactly from the codec;
+    * transit = arrival_cycle - start_cycle - serialization;
+    * reply = done_cycle - arrival_cycle.
+    """
+    network = network_factory(seed)
+    rng = random.Random(seed ^ 0x1234)
+    n = network.plan.n_endpoints
+    header_words = network.codec.header_length()
+    serialization = header_words + message_words + 2  # + checksum + TURN
+
+    transits, replies, totals = [], [], []
+    for _ in range(samples):
+        src, dest = rng.randrange(n), rng.randrange(n)
+        if src == dest:
+            dest = (dest + 1) % n
+        payload = [rng.getrandbits(8) & ((1 << network.codec.w) - 1)
+                   for _ in range(message_words)]
+        mark = len(network.log.receiver_arrivals)
+        message = network.send(src, Message(dest=dest, payload=payload))
+        if not network.run_until_quiet(max_cycles=30000):
+            raise RuntimeError("network failed to drain")
+        if message.outcome != "delivered":
+            continue
+        arrival_cycle = network.log.receiver_arrivals[mark][0]
+        transits.append(arrival_cycle - message.start_cycle - serialization)
+        replies.append(message.done_cycle - arrival_cycle)
+        totals.append(message.latency)
+    if not totals:
+        raise RuntimeError("no messages delivered")
+    return LatencyBreakdown(
+        serialization=float(serialization),
+        transit=sum(transits) / len(transits),
+        reply=sum(replies) / len(replies),
+        total=sum(totals) / len(totals),
+    )

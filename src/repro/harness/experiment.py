@@ -1,0 +1,183 @@
+"""Generic measured-window experiment runner.
+
+Every simulation-backed figure in the paper reduces to: build a
+network, attach a workload, warm it up, measure a window, and report
+latency/throughput statistics over the messages that completed inside
+the window.  :func:`run_experiment` is that loop;
+:class:`ExperimentResult` carries the statistics.
+"""
+
+import numpy as np
+
+
+class ExperimentResult:
+    """Statistics over one measured window."""
+
+    def __init__(
+        self,
+        label,
+        delivered,
+        abandoned,
+        warmup_cycles,
+        measure_cycles,
+        n_endpoints,
+        message_words,
+        attempt_failures,
+    ):
+        self.label = label
+        self.delivered_count = len(delivered)
+        self.abandoned_count = abandoned
+        self.warmup_cycles = warmup_cycles
+        self.measure_cycles = measure_cycles
+        self.n_endpoints = n_endpoints
+        self.message_words = message_words
+        self.attempt_failures = dict(attempt_failures)
+        self._latencies = np.array(
+            [m.total_latency for m in delivered], dtype=float
+        )
+        self._attempts = np.array([m.attempts for m in delivered], dtype=float)
+        self._sources = [m.source for m in delivered]
+        self._queueing = np.array(
+            [m.start_cycle - m.queued_cycle for m in delivered], dtype=float
+        )
+
+    # -- latency ---------------------------------------------------------
+
+    @property
+    def mean_latency(self):
+        return float(self._latencies.mean()) if self.delivered_count else float("nan")
+
+    @property
+    def median_latency(self):
+        return float(np.median(self._latencies)) if self.delivered_count else float("nan")
+
+    def latency_percentile(self, q):
+        return float(np.percentile(self._latencies, q)) if self.delivered_count else float("nan")
+
+    @property
+    def mean_attempts(self):
+        return float(self._attempts.mean()) if self.delivered_count else float("nan")
+
+    @property
+    def mean_queueing(self):
+        """Cycles spent waiting at the source before first transmission.
+
+        Separates endpoint-side head-of-line waiting from network
+        latency; under the Figure 3 single-outstanding model this is
+        usually zero (closed-loop sources only generate when idle), and
+        it grows when callers submit bursts.
+        """
+        return float(self._queueing.mean()) if self.delivered_count else float("nan")
+
+    # -- throughput / load -----------------------------------------------
+
+    @property
+    def delivered_load(self):
+        """Delivered words per endpoint-cycle: the Figure 3 load axis.
+
+        Each endpoint can inject at most one word per cycle, so 1.0 is
+        the (unreachable) aggregate injection capacity.
+        """
+        total_words = self.delivered_count * self.message_words
+        return total_words / (self.measure_cycles * self.n_endpoints)
+
+    @property
+    def messages_per_kilocycle(self):
+        return 1000.0 * self.delivered_count / self.measure_cycles
+
+    def per_source_counts(self):
+        """Delivered-message count per source endpoint."""
+        counts = {e: 0 for e in range(self.n_endpoints)}
+        for source in self._sources:
+            counts[source] = counts.get(source, 0) + 1
+        return counts
+
+    def jain_fairness(self):
+        """Jain's fairness index over per-source throughput.
+
+        1.0 = perfectly fair; 1/n = one endpoint hogs everything.
+        Stochastic selection should keep loaded networks near 1.
+        """
+        counts = list(self.per_source_counts().values())
+        total = sum(counts)
+        if total == 0:
+            return float("nan")
+        squares = sum(c * c for c in counts)
+        return (total * total) / (len(counts) * squares)
+
+    def blocked_fraction(self):
+        """Failed attempts (any cause) per delivered message."""
+        failures = sum(self.attempt_failures.values())
+        if not self.delivered_count:
+            return float("nan")
+        return failures / self.delivered_count
+
+    def as_dict(self):
+        return {
+            "label": self.label,
+            "delivered": self.delivered_count,
+            "abandoned": self.abandoned_count,
+            "mean_latency": self.mean_latency,
+            "median_latency": self.median_latency,
+            "p95_latency": self.latency_percentile(95),
+            "mean_attempts": self.mean_attempts,
+            "delivered_load": self.delivered_load,
+            "failures_per_message": self.blocked_fraction(),
+        }
+
+    def __repr__(self):
+        return "<ExperimentResult {}: n={} mean={:.1f}>".format(
+            self.label, self.delivered_count, self.mean_latency
+        )
+
+
+def run_experiment(
+    network,
+    traffic,
+    warmup_cycles=2000,
+    measure_cycles=10000,
+    drain=True,
+    label="",
+    message_words=None,
+):
+    """Warm up, measure, and summarize one workload on one network.
+
+    Messages are attributed to the measured window by *submission*
+    time; statistics cover those submitted inside the window that
+    eventually completed (``drain`` lets stragglers finish so the tail
+    isn't censored).
+    """
+    traffic.attach(network)
+    network.run(warmup_cycles)
+    start = network.engine.cycle
+    network.run(measure_cycles)
+    end = network.engine.cycle
+
+    if drain:
+        # Stop generating, let in-flight messages finish.
+        for endpoint in network.endpoints:
+            endpoint.traffic_source = None
+        network.run_until_quiet(max_cycles=measure_cycles * 4)
+
+    window = [
+        m
+        for m in network.log.delivered()
+        if m.queued_cycle is not None and start <= m.queued_cycle < end
+    ]
+    abandoned = sum(
+        1
+        for m in network.log.abandoned()
+        if m.queued_cycle is not None and start <= m.queued_cycle < end
+    )
+    return ExperimentResult(
+        label=label,
+        delivered=window,
+        abandoned=abandoned,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        n_endpoints=network.plan.n_endpoints,
+        message_words=(
+            message_words if message_words is not None else traffic.message_words
+        ),
+        attempt_failures=network.log.attempt_failures,
+    )

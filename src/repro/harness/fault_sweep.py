@@ -1,0 +1,72 @@
+"""Performance under faults (Section 6.2's robustness claim).
+
+"Earlier work based around the routing protocol which evolved to
+become the METRO routing protocol shows that performance degrades
+robustly in the face of faults [2][3]."  This sweep reproduces that
+experiment's shape on our simulator: the same offered load measured
+against networks with increasing numbers of dead wires/routers,
+reporting delivered throughput, latency and retry inflation.
+"""
+
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.faults.injector import FaultInjector, random_fault_scenario
+from repro.harness.experiment import run_experiment
+from repro.harness.load_sweep import figure3_network
+
+
+def run_fault_point(
+    n_dead_links=0,
+    n_dead_routers=0,
+    rate=0.02,
+    seed=0,
+    message_words=20,
+    warmup_cycles=1500,
+    measure_cycles=6000,
+    network_factory=figure3_network,
+):
+    """One (fault level, load) measurement."""
+    network = network_factory(seed=seed)
+    injector = FaultInjector(network)
+    faults = random_fault_scenario(
+        network,
+        n_dead_links=n_dead_links,
+        n_dead_routers=n_dead_routers,
+        seed=seed + 17,
+        exclude_final_stage=True,
+    )
+    for fault in faults:
+        injector.now(fault)
+    traffic = UniformRandomTraffic(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=rate,
+        message_words=message_words,
+        seed=seed + 1,
+    )
+    label = "links={} routers={}".format(n_dead_links, n_dead_routers)
+    return run_experiment(
+        network,
+        traffic,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        label=label,
+    )
+
+
+def fault_degradation_sweep(
+    fault_levels=((0, 0), (4, 0), (8, 0), (16, 0), (4, 2), (8, 4)),
+    rate=0.02,
+    seed=0,
+    **kwargs
+):
+    """Latency/throughput at one load across increasing fault counts."""
+    return [
+        run_fault_point(
+            n_dead_links=links,
+            n_dead_routers=routers,
+            rate=rate,
+            seed=seed,
+            **kwargs
+        )
+        for links, routers in fault_levels
+    ]

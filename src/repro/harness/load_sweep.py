@@ -1,0 +1,95 @@
+"""The Figure 3 experiment: latency versus network loading.
+
+The paper's Figure 3 plots effective message latency against network
+load for a 3-stage, 64-endpoint, radix-4 multibutterfly (dilation
+2/2/1, 8-bit datapaths) carrying randomly-addressed 20-byte messages,
+with processors stalling until each message completes and each
+endpoint using one network input at a time.  The unloaded latency is
+28 clock cycles from injection to acknowledgment receipt.
+
+:func:`figure3_sweep` regenerates the curve: one
+:func:`~repro.harness.experiment.run_experiment` per injection rate,
+reporting (offered rate, delivered load, mean/median/p95 latency).
+"""
+
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.harness.experiment import run_experiment
+from repro.network.builder import build_network
+from repro.network.topology import figure3_plan
+
+#: Injection probabilities swept by default: idle-endpoint start
+#: probability per cycle, from nearly unloaded to saturation.
+DEFAULT_RATES = (0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
+
+
+def figure3_network(seed=0, fast_reclaim=True, **overrides):
+    """The Figure 3 network, ready for traffic.
+
+    Fast path reclamation is on by default: Figure 3's loaded points
+    depend on blocked connections being reclaimed quickly (Section
+    5.1 pairs "fast block recovery" with "fast stochastic path
+    search").
+    """
+    return build_network(
+        figure3_plan(), seed=seed, fast_reclaim=fast_reclaim, **overrides
+    )
+
+
+def run_load_point(
+    rate,
+    seed=0,
+    message_words=20,
+    warmup_cycles=1500,
+    measure_cycles=6000,
+    network_factory=figure3_network,
+    traffic_class=UniformRandomTraffic,
+):
+    """One point of the latency/load curve."""
+    network = network_factory(seed=seed)
+    traffic = traffic_class(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=rate,
+        message_words=message_words,
+        seed=seed + 1,
+    )
+    result = run_experiment(
+        network,
+        traffic,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        label="rate={}".format(rate),
+    )
+    return result
+
+
+def figure3_sweep(rates=DEFAULT_RATES, seed=0, **kwargs):
+    """The full latency-vs-load series, one result per rate."""
+    return [run_load_point(rate, seed=seed, **kwargs) for rate in rates]
+
+
+def unloaded_latency(seed=0, samples=24, network_factory=figure3_network,
+                     message_words=20):
+    """Mean unloaded (single message at a time) delivery latency.
+
+    The paper's reference point: 28 cycles for 20-byte messages on the
+    Figure 3 network.
+    """
+    from repro.endpoint.messages import Message
+    import random
+
+    network = network_factory(seed=seed)
+    rng = random.Random(seed ^ 0x55AA)
+    latencies = []
+    for _ in range(samples):
+        src = rng.randrange(network.plan.n_endpoints)
+        dest = rng.randrange(network.plan.n_endpoints)
+        if dest == src:
+            dest = (dest + 1) % network.plan.n_endpoints
+        payload = [rng.getrandbits(8) for _ in range(message_words)]
+        message = network.send(src, Message(dest=dest, payload=payload))
+        if not network.run_until_quiet(max_cycles=20000):
+            raise RuntimeError("network failed to drain")
+        if message.latency is not None:
+            latencies.append(message.latency)
+    return sum(latencies) / len(latencies)

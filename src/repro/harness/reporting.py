@@ -1,0 +1,99 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output consistent and readable in a terminal.
+"""
+
+
+def format_table(rows, columns=None, title=None, floatfmt="{:.1f}"):
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = []
+    for row in rows:
+        rendered.append(
+            [_cell(row.get(column), floatfmt) for column in columns]
+        )
+    widths = [
+        max(len(str(column)), max(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    out.append(header)
+    out.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def _cell(value, floatfmt):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    if isinstance(value, tuple):
+        return "-".join(_cell(v, floatfmt) for v in value)
+    return str(value)
+
+
+def format_series(points, x_label, y_labels, title=None):
+    """Render (x, {y_label: value}) pairs as an aligned series table."""
+    rows = []
+    for x, values in points:
+        row = {x_label: x}
+        row.update(values)
+        rows.append(row)
+    return format_table(rows, columns=[x_label] + list(y_labels), title=title)
+
+
+def ascii_chart(points, width=50, height=12, title=None, x_label="x", y_label="y"):
+    """A quick terminal scatter/line chart for (x, y) numeric pairs.
+
+    Good enough to see the Figure 3 knee in benchmark output without
+    leaving the terminal; not a plotting library.
+    """
+    pairs = [(float(x), float(y)) for x, y in points if y == y]  # drop NaN
+    if not pairs:
+        return "(no data)"
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pairs:
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("{:>10.3g} |{}".format(y_hi, "".join(grid[0])))
+    for row in grid[1:-1]:
+        lines.append("{:>10} |{}".format("", "".join(row)))
+    lines.append("{:>10.3g} |{}".format(y_lo, "".join(grid[-1])))
+    lines.append("{:>10} +{}".format("", "-" * width))
+    lines.append(
+        "{:>10}  {:<{pad}}{:>{pad2}}".format(
+            "", "{:.3g}".format(x_lo), "{:.3g}".format(x_hi),
+            pad=width // 2, pad2=width - width // 2,
+        )
+    )
+    lines.append("{:>10}  ({} vs {})".format("", y_label, x_label))
+    return "\n".join(lines)
+
+
+def results_to_series(results, x_from="label"):
+    """ExperimentResults -> (x, metrics) pairs for format_series."""
+    points = []
+    for result in results:
+        data = result.as_dict()
+        x = data.pop(x_from)
+        points.append((x, data))
+    return points

@@ -1,0 +1,63 @@
+"""Saturation search: where does the network stop giving more?
+
+Figure 3's load axis ends where the latency curve turns vertical.
+:func:`find_saturation` locates that point automatically: it sweeps
+the injection rate geometrically until delivered throughput stops
+improving, then reports the saturation throughput and the rate at
+which it was reached — useful for comparing network variants (size,
+dilation, reclamation mode) by a single number.
+"""
+
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.harness.experiment import run_experiment
+from repro.harness.load_sweep import figure3_network
+
+
+def find_saturation(
+    network_factory=figure3_network,
+    start_rate=0.01,
+    growth=2.0,
+    tolerance=0.05,
+    max_steps=8,
+    seed=0,
+    message_words=20,
+    warmup_cycles=800,
+    measure_cycles=3000,
+):
+    """Grow the injection rate until throughput gains fall below
+    ``tolerance``; returns ``(saturation_result, all_results)``.
+
+    The saturation result is the first point whose delivered load is
+    within ``tolerance`` of its successor's (the curve has flattened).
+    """
+    results = []
+    rate = start_rate
+    for _step in range(max_steps):
+        network = network_factory(seed=seed)
+        traffic = UniformRandomTraffic(
+            n_endpoints=network.plan.n_endpoints,
+            w=network.codec.w,
+            rate=rate,
+            message_words=message_words,
+            seed=seed + 1,
+        )
+        result = run_experiment(
+            network,
+            traffic,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            label="rate={:.4g}".format(rate),
+        )
+        results.append(result)
+        if len(results) >= 2:
+            previous, current = results[-2], results[-1]
+            if previous.delivered_load <= 0:
+                rate *= growth
+                continue
+            gain = (
+                current.delivered_load - previous.delivered_load
+            ) / previous.delivered_load
+            if gain < tolerance:
+                return previous, results
+        rate *= growth
+    return results[-1], results

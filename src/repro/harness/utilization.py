@@ -1,0 +1,82 @@
+"""Per-router utilization sampling: where is the network busy?
+
+Samples each router's backward-port occupancy on a fixed period and
+aggregates per stage and per router — the data behind congestion
+heatmaps.  Random output selection should keep utilization flat within
+each dilation group and each stage; a hotspot workload shows up as a
+sharp utilization spike on the routers serving the hot destination.
+"""
+
+from repro.sim.component import Component
+
+
+class UtilizationProbe(Component):
+    """A clocked sampler of router occupancy.
+
+    Register it with the network's engine *after* building traffic;
+    ``period`` controls sampling cost (1 = every cycle).
+    """
+
+    def __init__(self, network, period=4):
+        self.name = "utilization-probe"
+        self.network = network
+        self.period = period
+        self.samples = 0
+        #: router key -> busy-port samples summed
+        self.busy = {key: 0 for key in network.router_grid}
+        self._ports = {
+            key: router.params.o
+            for key, router in network.router_grid.items()
+        }
+
+    def tick(self, cycle):
+        if cycle % self.period:
+            return
+        self.samples += 1
+        for key, router in self.network.router_grid.items():
+            self.busy[key] += len(router.busy_backward_ports())
+
+    # ------------------------------------------------------------------
+
+    def router_utilization(self):
+        """key -> mean fraction of backward ports busy."""
+        if not self.samples:
+            return {key: 0.0 for key in self.busy}
+        return {
+            key: self.busy[key] / (self.samples * self._ports[key])
+            for key in self.busy
+        }
+
+    def stage_utilization(self):
+        """stage -> mean utilization over that stage's routers."""
+        per_router = self.router_utilization()
+        stages = {}
+        for (stage, _block, _index), value in per_router.items():
+            stages.setdefault(stage, []).append(value)
+        return {stage: sum(vals) / len(vals) for stage, vals in stages.items()}
+
+    def hottest(self, count=5):
+        """The ``count`` most-utilized routers, hottest first."""
+        per_router = self.router_utilization()
+        ranked = sorted(per_router.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+    def imbalance(self, stage):
+        """max/mean utilization ratio within one stage (1.0 = flat)."""
+        per_router = self.router_utilization()
+        values = [
+            value
+            for (s, _b, _i), value in per_router.items()
+            if s == stage
+        ]
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return 1.0
+        return max(values) / mean
+
+
+def attach_probe(network, period=4):
+    """Create and register a probe on ``network``; returns it."""
+    probe = UtilizationProbe(network, period=period)
+    network.engine.add_component(probe)
+    return probe

@@ -1,0 +1,27 @@
+"""Analytical latency models: Tables 3, 4 and 5 of the paper."""
+
+from repro.latency_model import blocking, equations, general
+from repro.latency_model.contemporaries import Contemporary, table5_contemporaries
+from repro.latency_model.equations import hbits, t_20_32, t_bit, t_on_chip, t_stg, vtd
+from repro.latency_model.implementations import (
+    Implementation,
+    metrojr_orbit,
+    table3_implementations,
+)
+
+__all__ = [
+    "Contemporary",
+    "Implementation",
+    "blocking",
+    "equations",
+    "general",
+    "hbits",
+    "metrojr_orbit",
+    "t_20_32",
+    "t_bit",
+    "t_on_chip",
+    "t_stg",
+    "table3_implementations",
+    "table5_contemporaries",
+    "vtd",
+]

@@ -1,0 +1,120 @@
+"""Pin-budget economics: the width-cascading argument, quantified.
+
+Section 5.1: "Routing components often tend to be pin-limited.  Width
+cascading reduces the competition for pins between datapath width and
+the number of forward and backward ports supported on a single IC.
+For any fixed number of IC pins, this allows the IC to support more
+forward and backward ports without sacrificing network datapath width
+... this allows logical routers to be constructed from primitive
+router ICs with less pins, and hence less expense."
+
+This module prices that trade: a pin model for a METRO component, the
+largest router geometry a pin budget affords at each slice width, and
+the resulting 32-node network latency — so "narrow slices, more ports,
+fewer stages, cascaded width" can be compared against "wide chip,
+fewer ports, more stages" on one axis.
+"""
+
+import math
+
+from repro.latency_model import equations as EQ
+
+#: Per-port overhead beyond the data bits: frame/valid + the backward
+#: control bit.
+CONTROL_PINS_PER_PORT = 2
+#: Pins per scan path (TCK, TMS, TDI, TDO).
+PINS_PER_TAP = 4
+#: Clock, reset, and the component's random output bit.
+MISC_PINS = 3
+
+
+def pin_count(i, o, w, sp=1, ri=1):
+    """Signal pins of a METRO component (power/ground excluded)."""
+    ports = i + o
+    return ports * (w + CONTROL_PINS_PER_PORT) + sp * PINS_PER_TAP + ri + MISC_PINS
+
+
+def max_ports_for_budget(pins, w, sp=1, ri=1):
+    """Largest power-of-two ``i = o`` affordable within ``pins``."""
+    available = pins - sp * PINS_PER_TAP - ri - MISC_PINS
+    per_port = w + CONTROL_PINS_PER_PORT
+    total_ports = available // per_port
+    per_side = total_ports // 2
+    if per_side < 1:
+        return 0
+    return 1 << (per_side.bit_length() - 1)
+
+
+def stages_for_32_nodes(ports, dilation=2):
+    """Stage structure reaching 32 destinations with i=o=``ports`` parts.
+
+    Early stages at the given dilation plus one dilation-1 final stage
+    (the Table 3 construction).  Returns the stage radix list, or None
+    if 32 is unreachable with whole stages.
+    """
+    if ports < 2:
+        return None
+    early_radix = ports // dilation
+    final_radix = ports
+    if early_radix < 2:
+        return None
+    remaining = 32
+    if remaining % final_radix:
+        return None
+    remaining //= final_radix
+    radices = []
+    while remaining > 1:
+        if remaining % early_radix:
+            return None
+        radices.append(early_radix)
+        remaining //= early_radix
+    radices.append(final_radix)
+    return tuple(radices)
+
+
+def design_point(pins, w, c=1, t_clk=10, t_io=5, hw=0, sp=1, ri=1):
+    """One (pin budget, slice width, cascade) design evaluated end to end.
+
+    Returns a dict with the affordable geometry, the 32-node network it
+    builds, and the delivered ``t_20,32`` — or None when the budget
+    cannot build a working router.
+    """
+    ports = max_ports_for_budget(pins, w, sp=sp, ri=ri)
+    if ports < 4:
+        return None
+    if w < math.log2(ports):
+        return None  # Table 1: w >= log2(o)
+    radices = stages_for_32_nodes(ports)
+    if radices is None:
+        return None
+    latency = EQ.t_20_32(
+        t_clk, t_io, hw=hw, w=w, c=c, stage_radices=radices
+    )
+    return {
+        "pins": pins,
+        "w": w,
+        "cascade_c": c,
+        "ports_per_side": ports,
+        "pins_used": pin_count(ports, ports, w, sp=sp, ri=ri),
+        "stages": len(radices),
+        "radices": radices,
+        "datapath_bits": w * c,
+        "t_20_32_ns": latency,
+        "chips_per_logical_router": c,
+    }
+
+
+def cascade_tradeoff_table(pins, t_clk=10, t_io=5):
+    """The Section 5.1 comparison at one pin budget.
+
+    Rows: (a) one wide chip spending pins on datapath width; (b) narrow
+    chips spending pins on ports, cascaded 2- and 4-wide to recover the
+    datapath.  Lower ``t_20_32`` with equal-or-wider datapath is the
+    cascading win.
+    """
+    rows = []
+    for w, c in ((16, 1), (8, 1), (8, 2), (4, 2), (4, 4)):
+        point = design_point(pins, w, c=c, t_clk=t_clk, t_io=t_io)
+        if point is not None:
+            rows.append(point)
+    return rows

@@ -1,0 +1,79 @@
+"""Table 4: the latency equations of the METRO architecture.
+
+Given an implementation's circuit-level numbers — clock period
+``t_clk``, i/o pad latency ``t_io``, wire delay ``t_wire``, router
+pipeline depth ``dp``, header words ``hw``, slice width ``w`` and
+cascade width ``c`` — these equations produce the stage latency and
+the paper's application figure ``t_20,32``: the time to deliver a
+5-word (20-byte) message (e.g. a 4-word cache line plus checksum)
+across a 32-node multibutterfly.
+
+All times are in nanoseconds.
+"""
+
+import math
+
+from repro.network.headers import HeaderCodec
+
+#: The 32-node example network of Table 3, 4-stage form: three
+#: radix-2 dilation-2 stages followed by a radix-4 dilation-1 stage
+#: (2*2*2*4 = 32 destinations) — the Figure 1 style scaled to 32.
+RADICES_32_NODE_4_STAGE = (2, 2, 2, 4)
+
+#: The 2-stage form used by the METRO i=o=8 rows: a radix-4 dilation-2
+#: stage feeding a radix-8 dilation-1 stage (4*8 = 32).
+RADICES_32_NODE_2_STAGE = (4, 8)
+
+MESSAGE_BITS_20_BYTES = 20 * 8
+
+#: Wire delay assumed throughout Table 3/4.
+DEFAULT_T_WIRE = 3.0
+
+
+def vtd(t_io, t_wire, t_clk):
+    """Interconnect delay in clock cycles: ceil((t_io + t_wire)/t_clk)."""
+    return math.ceil((t_io + t_wire) / t_clk)
+
+
+def t_on_chip(t_clk, dp):
+    """Time data traverses the chip: t_clk * dp."""
+    return t_clk * dp
+
+
+def t_stg(t_clk, t_io, dp, t_wire=DEFAULT_T_WIRE):
+    """Chip-to-chip latency in the network: on-chip + interconnect."""
+    return t_on_chip(t_clk, dp) + vtd(t_io, t_wire, t_clk) * t_clk
+
+
+def t_bit(t_clk, w, c=1):
+    """Seconds-per-bit: one w*c-bit word moves per clock."""
+    return t_clk / (w * c)
+
+
+def hbits(w, hw, stage_radices, c=1):
+    """Routing bits required (Table 4), including cascade replication."""
+    codec = HeaderCodec(w=w, hw=hw, stage_radices=list(stage_radices), cascade_width=c)
+    return codec.hbits()
+
+
+def t_20_32(
+    t_clk,
+    t_io,
+    dp=1,
+    hw=0,
+    w=4,
+    c=1,
+    stage_radices=RADICES_32_NODE_4_STAGE,
+    t_wire=DEFAULT_T_WIRE,
+    message_bits=MESSAGE_BITS_20_BYTES,
+):
+    """Unloaded delivery latency for a 20-byte message, 32 nodes.
+
+    ``stages * t_stg + (message_bits + hbits) * t_bit`` — the head of
+    the message pays the pipeline once per stage; every bit of message
+    and header then streams at the channel rate.
+    """
+    stages = len(stage_radices)
+    stage_latency = stages * t_stg(t_clk, t_io, dp, t_wire)
+    total_bits = message_bits + hbits(w, hw, stage_radices, c)
+    return stage_latency + total_bits * t_bit(t_clk, w, c)

@@ -1,0 +1,170 @@
+"""Table 3: METRO implementation examples.
+
+Sixteen (potential) implementations across three technologies — the
+fabricated METROJR-ORBIT gate array, 0.8µ standard cell, and 0.8µ
+full custom — each with the paper's reported ``t_clk``/``t_io``/
+``t_stg``/``t_bit``/stages/``t_20,32``.  The expected values are kept
+alongside so the benchmark can regenerate the table and the tests can
+assert an exact match with the Table 4 equations.
+"""
+
+from repro.latency_model import equations as EQ
+
+
+class Implementation:
+    """One row of Table 3."""
+
+    def __init__(
+        self,
+        name,
+        technology,
+        t_clk,
+        t_io,
+        dp=1,
+        hw=0,
+        w=4,
+        c=1,
+        stage_radices=EQ.RADICES_32_NODE_4_STAGE,
+        expected_t_stg=None,
+        expected_t_20_32=None,
+        interconnect_pipelined=True,
+    ):
+        self.name = name
+        self.technology = technology
+        self.t_clk = t_clk
+        self.t_io = t_io
+        self.dp = dp
+        self.hw = hw
+        self.w = w
+        self.c = c
+        self.stage_radices = tuple(stage_radices)
+        self.expected_t_stg = expected_t_stg
+        self.expected_t_20_32 = expected_t_20_32
+        #: METRO treats the interconnect as its own pipeline stages
+        #: (vtd); its ancestor RN1 folded wire flight time into the one
+        #: routing pipeline stage, which capped its clock (Section 6.1).
+        self.interconnect_pipelined = interconnect_pipelined
+
+    @property
+    def stages(self):
+        return len(self.stage_radices)
+
+    @property
+    def word_width(self):
+        """Effective datapath width (w per slice x cascade width)."""
+        return self.w * self.c
+
+    def t_stg(self):
+        if not self.interconnect_pipelined:
+            return EQ.t_on_chip(self.t_clk, self.dp)
+        return EQ.t_stg(self.t_clk, self.t_io, self.dp)
+
+    def t_bit(self):
+        return EQ.t_bit(self.t_clk, self.w, self.c)
+
+    def hbits(self):
+        return EQ.hbits(self.w, self.hw, self.stage_radices, self.c)
+
+    def t_20_32(self):
+        if not self.interconnect_pipelined:
+            total_bits = EQ.MESSAGE_BITS_20_BYTES + self.hbits()
+            return self.stages * self.t_stg() + total_bits * self.t_bit()
+        return EQ.t_20_32(
+            self.t_clk,
+            self.t_io,
+            dp=self.dp,
+            hw=self.hw,
+            w=self.w,
+            c=self.c,
+            stage_radices=self.stage_radices,
+        )
+
+    def row(self):
+        """The Table 3 row as a dict (for printing/benchmarks)."""
+        return {
+            "name": self.name,
+            "technology": self.technology,
+            "t_clk_ns": self.t_clk,
+            "t_io_ns": self.t_io,
+            "t_stg_ns": self.t_stg(),
+            "t_bit": "{} ns/{} b".format(self.t_clk, self.word_width),
+            "stages": self.stages,
+            "t_20_32_ns": self.t_20_32(),
+        }
+
+    def __repr__(self):
+        return "<Implementation {}>".format(self.name)
+
+
+_GA = "1.2u Gate Array"
+_SC = "0.8u Std. Cell"
+_FC = "0.8u Full Custom"
+_R4 = EQ.RADICES_32_NODE_4_STAGE
+_R2 = EQ.RADICES_32_NODE_2_STAGE
+
+
+def table3_implementations():
+    """All sixteen rows of Table 3, in the paper's order."""
+    return [
+        Implementation("METROJR-ORBIT", _GA, 25, 10,
+                       expected_t_stg=50, expected_t_20_32=1250),
+        Implementation("METROJR-ORBIT 2-cascade", _GA, 25, 10, c=2,
+                       expected_t_stg=50, expected_t_20_32=750),
+        Implementation("METROJR-ORBIT 4-cascade", _GA, 25, 10, c=4,
+                       expected_t_stg=50, expected_t_20_32=500),
+        Implementation("METROJR w=8", _GA, 25, 10, w=8,
+                       expected_t_stg=50, expected_t_20_32=725),
+        Implementation("METROJR", _SC, 10, 5,
+                       expected_t_stg=20, expected_t_20_32=500),
+        Implementation("METROJR 2-cascade", _SC, 10, 5, c=2,
+                       expected_t_stg=20, expected_t_20_32=300),
+        Implementation("METROJR 4-cascade", _SC, 10, 5, c=4,
+                       expected_t_stg=20, expected_t_20_32=200),
+        Implementation("METRO i=o=8 w=4", _SC, 10, 5, stage_radices=_R2,
+                       expected_t_stg=20, expected_t_20_32=460),
+        Implementation("METROJR", _FC, 5, 3,
+                       expected_t_stg=15, expected_t_20_32=270),
+        Implementation("METRO i=o=8 w=4", _FC, 5, 3, stage_radices=_R2,
+                       expected_t_stg=15, expected_t_20_32=240),
+        Implementation("METROJR dp=2", _FC, 2, 3, dp=2,
+                       expected_t_stg=10, expected_t_20_32=124),
+        Implementation("METROJR hw=1", _FC, 2, 3, hw=1,
+                       expected_t_stg=8, expected_t_20_32=120),
+        Implementation("METROJR hw=1 2-cascade", _FC, 2, 3, hw=1, c=2,
+                       expected_t_stg=8, expected_t_20_32=80),
+        Implementation("METROJR hw=1 w=8", _FC, 2, 3, hw=1, w=8,
+                       expected_t_stg=8, expected_t_20_32=80),
+        Implementation("METRO i=o=8 hw=2 w=4", _FC, 2, 3, hw=2,
+                       stage_radices=_R2,
+                       expected_t_stg=8, expected_t_20_32=104),
+        Implementation("METRO i=o=8 hw=2 w=4 4-cascade", _FC, 2, 3, hw=2,
+                       c=4, stage_radices=_R2,
+                       expected_t_stg=8, expected_t_20_32=44),
+    ]
+
+
+def metrojr_orbit():
+    """The fabricated prototype (Section 6.1): 15K-gate 1.2u array."""
+    return table3_implementations()[0]
+
+
+def rn1():
+    """RN1, the direct ancestor (Section 6.1, [19][20]).
+
+    1.2u CMOS, i = o = 8, byte-wide datapaths, dilation 1 or 2.  Each
+    routing stage was a *single* pipeline stage — wire flight time was
+    not pipelined separately — which limited RN1 to about 50 MHz.
+    Modeled with ``interconnect_pipelined=False`` so its stage latency
+    is one 20 ns clock; the contrast with METROJR's higher clock at the
+    same process is the architectural lesson METRO drew from it.
+    """
+    return Implementation(
+        "RN1",
+        "1.2u CMOS (ancestor)",
+        t_clk=20,
+        t_io=0,
+        w=8,
+        stage_radices=_R2,
+        interconnect_pipelined=False,
+        expected_t_stg=20,
+    )

@@ -1,0 +1,186 @@
+"""Width-cascaded networks: every logical router is ``c`` slices wide.
+
+Table 3's cascade rows (2-cascade, 4-cascade) build each logical
+router from ``c`` METRO components in parallel, multiplying channel
+bandwidth by ``c`` at unchanged stage latency.  This module applies
+Section 5.1's cascading at *network* scale:
+
+* ``c`` identical copies ("slices") of the whole network are built
+  from the same seed, so wiring, router randomness, and endpoint
+  behaviour are identical — the simulation equivalent of the shared
+  external random bits (identically-seeded PRNGs make identical
+  decisions whenever the request streams are identical, which is
+  exactly the non-faulty cascade condition);
+* wide messages are split word-by-word across the slices
+  (:func:`~repro.core.cascade.split_value`) and their replies joined;
+* a cross-slice consistency checker implements the wired-AND IN-USE
+  pull-up: any allocation disagreement between slices of one logical
+  router is detected at once and the connection is shut down on every
+  slice (fault containment).
+
+The cascade-speedup arithmetic follows directly: a B-byte message is
+``ceil(8B / (w*c))`` words long, so message serialization shrinks by
+``c`` while per-stage latency is unchanged — the behavioural version
+of Table 4's ``t_20,32`` cascade scaling.
+"""
+
+from repro.core.cascade import join_slices, split_value
+from repro.endpoint.messages import DELIVERED, Message
+from repro.network.builder import build_network
+
+
+class WideMessage:
+    """One logical message carried by ``c`` slice messages."""
+
+    def __init__(self, dest, wide_payload, slices):
+        self.dest = dest
+        self.wide_payload = list(wide_payload)
+        self.slices = slices
+
+    @property
+    def outcome(self):
+        outcomes = {m.outcome for m in self.slices}
+        if outcomes == {DELIVERED}:
+            return DELIVERED
+        if None in outcomes:
+            return None
+        return "partial" if DELIVERED in outcomes else self.slices[0].outcome
+
+    @property
+    def latency(self):
+        latencies = [m.latency for m in self.slices]
+        if any(l is None for l in latencies):
+            return None
+        return max(latencies)
+
+    def slices_in_lockstep(self):
+        """True when every slice saw identical timing and retries."""
+        reference = self.slices[0]
+        return all(
+            m.latency == reference.latency and m.attempts == reference.attempts
+            for m in self.slices[1:]
+        )
+
+    def wide_reply(self, w):
+        """Join the slices' reply payloads back into wide words."""
+        parts = [m.reply_payload for m in self.slices]
+        if any(p is None for p in parts):
+            return None
+        length = min(len(p) for p in parts)
+        return [
+            join_slices([p[index] for p in parts], w) for index in range(length)
+        ]
+
+
+class CascadedNetwork:
+    """``c`` lockstep slice networks forming one wide network.
+
+    :param plan: the per-slice :class:`~repro.network.topology.NetworkPlan`.
+    :param c: cascade width (number of slices).
+    :param seed: master seed; all slices share it (identical behaviour).
+    :param build_kwargs: forwarded to every
+        :func:`~repro.network.builder.build_network` call.
+    """
+
+    def __init__(self, plan, c=2, seed=0, **build_kwargs):
+        if c < 1:
+            raise ValueError("cascade width must be >= 1")
+        self.plan = plan
+        self.c = c
+        self.w = plan.stages[0].params.w
+        self.slices = [
+            build_network(plan, seed=seed, **build_kwargs) for _ in range(c)
+        ]
+        self.inuse_mismatches = 0
+        self._torn_down = set()
+
+    @property
+    def wide_width(self):
+        """Effective datapath bits: ``w * c``."""
+        return self.w * self.c
+
+    # ------------------------------------------------------------------
+
+    def send_wide(self, src, dest, wide_payload):
+        """Send wide words (each < 2**(w*c)) from ``src`` to ``dest``."""
+        limit = 1 << self.wide_width
+        for value in wide_payload:
+            if not 0 <= value < limit:
+                raise ValueError(
+                    "wide word {:#x} exceeds {} bits".format(value, self.wide_width)
+                )
+        per_slice = [[] for _ in range(self.c)]
+        for value in wide_payload:
+            for index, part in enumerate(split_value(value, self.w, self.c)):
+                per_slice[index].append(part)
+        slice_messages = [
+            network.send(src, Message(dest=dest, payload=payload))
+            for network, payload in zip(self.slices, per_slice)
+        ]
+        return WideMessage(dest, wide_payload, slice_messages)
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.step()
+
+    def step(self):
+        for network in self.slices:
+            network.engine.step()
+        self._check_consistency()
+
+    def run_until_quiet(self, max_cycles=100000):
+        for _ in range(max_cycles):
+            if all(self._network_quiet(n) for n in self.slices):
+                self.run(4)
+                return True
+            self.step()
+        return all(self._network_quiet(n) for n in self.slices)
+
+    @staticmethod
+    def _network_quiet(network):
+        return all(ep.idle() for ep in network.endpoints) and all(
+            router.is_quiescent()
+            for stage in network.routers
+            for router in stage
+            if not router.dead
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_consistency(self):
+        """The wired-AND IN-USE pull-up, across slices of each router."""
+        if self.c == 1:
+            return
+        reference = self.slices[0]
+        for key, router in reference.router_grid.items():
+            ports = router.backward_owner_ports()
+            for other in self.slices[1:]:
+                other_ports = other.router_grid[key].backward_owner_ports()
+                if other_ports == ports:
+                    continue
+                for q in range(len(ports)):
+                    if ports[q] == other_ports[q]:
+                        continue
+                    event = (key, q, ports[q], other_ports[q])
+                    if event in self._torn_down:
+                        continue
+                    self._torn_down.add(event)
+                    self.inuse_mismatches += 1
+                    for owner in (ports[q], other_ports[q]):
+                        if owner is None:
+                            continue
+                        for network in self.slices:
+                            network.router_grid[key].force_teardown(owner)
+
+    def consistent(self):
+        reference = [
+            r.backward_owner_ports()
+            for r in self.slices[0].router_grid.values()
+        ]
+        for other in self.slices[1:]:
+            ports = [
+                r.backward_owner_ports() for r in other.router_grid.values()
+            ]
+            if ports != reference:
+                return False
+        return True

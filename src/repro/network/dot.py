@@ -1,0 +1,73 @@
+"""Graphviz DOT export of METRO networks.
+
+Emits plain DOT text (no graphviz dependency): stages as ranked
+clusters, endpoints on both flanks, optional highlighting of all legal
+routes to one destination — a textual rendering of what the paper's
+Figure 1 draws.  Paste into any DOT viewer.
+"""
+
+from repro.network import analysis
+
+
+def network_to_dot(plan, links, highlight_dest=None, name="metro"):
+    """DOT source for the network defined by ``plan`` + ``links``.
+
+    :param highlight_dest: if given, edges on legal routes to this
+        destination are drawn bold/colored (the Figure 1 bold paths).
+    """
+    graph = analysis.build_graph(plan, links)
+    highlighted = set()
+    if highlight_dest is not None:
+        sub = analysis.route_subgraph(plan, graph, highlight_dest)
+        highlighted = {
+            (u, v, k) for u, v, k in sub.edges(keys=True)
+        }
+
+    lines = ["digraph {} {{".format(name)]
+    lines.append('  rankdir=LR;')
+    lines.append('  node [shape=box, fontsize=9];')
+
+    # Endpoint columns.
+    lines.append("  subgraph cluster_sources {")
+    lines.append('    label="endpoints (out)"; style=dashed;')
+    for e in range(plan.n_endpoints):
+        lines.append('    "src{0}" [label="ep{0}"];'.format(e))
+    lines.append("  }")
+    for s in range(plan.n_stages):
+        lines.append("  subgraph cluster_stage{} {{".format(s))
+        stage = plan.stages[s]
+        lines.append(
+            '    label="stage {} ({}x{} r={} d={})"; style=dashed;'.format(
+                s, stage.params.i, stage.params.o, stage.radix, stage.dilation
+            )
+        )
+        for block in range(plan.blocks_per_stage[s]):
+            for index in range(plan.routers_per_block[s]):
+                lines.append(
+                    '    "r{0}.{1}.{2}" [label="r{0}.{1}.{2}"];'.format(
+                        s, block, index
+                    )
+                )
+        lines.append("  }")
+    lines.append("  subgraph cluster_dests {")
+    lines.append('    label="endpoints (in)"; style=dashed;')
+    for e in range(plan.n_endpoints):
+        lines.append('    "dst{0}" [label="ep{0}"];'.format(e))
+    lines.append("  }")
+
+    for u, v, k in graph.edges(keys=True):
+        attrs = ""
+        if (u, v, k) in highlighted:
+            attrs = ' [color=red, penwidth=2.0]'
+        lines.append('  "{}" -> "{}"{};'.format(_name(u), _name(v), attrs))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _name(node):
+    if node[0] == "src":
+        return "src{}".format(node[1])
+    if node[0] == "dst":
+        return "dst{}".format(node[1])
+    _, stage, block, index = node
+    return "r{}.{}.{}".format(stage, block, index)

@@ -1,0 +1,216 @@
+"""Routing-header construction and the Table 4 ``hbits`` rule.
+
+A METRO stream begins with a routing specification: one direction
+digit per network stage, where the stage-``s`` digit selects one of
+that stage's ``r_s`` logical output directions.  How those digits are
+carried depends on the connection-setup style:
+
+* ``hw >= 1`` (pipelined connection setup): every router consumes
+  ``hw`` whole words from the head of the stream; the digit rides in
+  the low bits of the first word of each stage's group and the source
+  pads the rest (Section 5.1, *Pipelined Connection Setup*).  Header
+  bits: ``hw * w * c * stages`` (Table 4).
+
+* ``hw = 0``: digits are packed MSB-first into ``w``-bit words; each
+  router shifts the head word left by ``log2(r_s)`` bits, and the
+  per-forward-port *swallow* configuration bit drops the head word at
+  the stage where it becomes exhausted (Table 2).  Header bits:
+  ``ceil(sum(log2 r_s) / w) * w * c`` (Table 4).
+
+The codec is the single source of truth shared by endpoints (which
+encode headers), the network builder (which programs swallow bits) and
+tests (which check the router's shifting against :meth:`simulate`).
+"""
+
+import math
+
+
+class HeaderCodec:
+    """Encodes destination addresses into routing headers.
+
+    :param w: data channel width in bits.
+    :param hw: header words consumed per router (0 for shift-and-swallow).
+    :param stage_radices: logical radix of each network stage, in order.
+    :param cascade_width: ``c``, the number of width-cascaded routers
+        forming each logical router (affects the padded header size
+        exactly as in Table 4; each cascade slice carries its own copy
+        of the routing bits).
+    """
+
+    def __init__(self, w, hw, stage_radices, cascade_width=1):
+        if w < 1:
+            raise ValueError("w must be >= 1")
+        if hw < 0:
+            raise ValueError("hw must be >= 0")
+        if cascade_width < 1:
+            raise ValueError("cascade_width must be >= 1")
+        for radix in stage_radices:
+            if radix < 1 or radix & (radix - 1):
+                raise ValueError("stage radices must be powers of two, got {}".format(radix))
+            if radix > (1 << w):
+                raise ValueError(
+                    "stage radix {} needs more than w={} bits".format(radix, w)
+                )
+        self.w = w
+        self.hw = hw
+        self.stage_radices = list(stage_radices)
+        self.cascade_width = cascade_width
+        self.stage_bits = [int(math.log2(r)) for r in self.stage_radices]
+
+    @property
+    def stages(self):
+        return len(self.stage_radices)
+
+    @property
+    def destinations(self):
+        """Number of distinct destinations the header can address."""
+        product = 1
+        for radix in self.stage_radices:
+            product *= radix
+        return product
+
+    # ------------------------------------------------------------------
+    # Address digits
+    # ------------------------------------------------------------------
+
+    def digits(self, dest):
+        """Per-stage direction digits for ``dest``, most significant first."""
+        if not 0 <= dest < self.destinations:
+            raise ValueError(
+                "destination {} out of range 0..{}".format(dest, self.destinations - 1)
+            )
+        digits = []
+        remainder = dest
+        for radix in reversed(self.stage_radices):
+            digits.append(remainder % radix)
+            remainder //= radix
+        digits.reverse()
+        return digits
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, dest):
+        """Header word values (for one cascade slice) addressing ``dest``."""
+        digits = self.digits(dest)
+        if self.hw >= 1:
+            words = []
+            for digit in digits:
+                words.append(digit)
+                words.extend([0] * (self.hw - 1))
+            return words
+        return self._pack_hw0(digits)
+
+    def _pack_hw0(self, digits):
+        words = []
+        current = 0
+        bits_left = self.w
+        for digit, bits in zip(digits, self.stage_bits):
+            if bits_left < bits:
+                # The digit would straddle a word boundary: pad the
+                # current word with zeros and start a fresh one.  The
+                # matching router gets its swallow bit set instead.
+                words.append(current << bits_left)
+                current = 0
+                bits_left = self.w
+            current = (current << bits) | digit
+            bits_left -= bits
+            if bits_left == 0:
+                words.append(current)
+                current = 0
+                bits_left = self.w
+        if bits_left != self.w:
+            words.append(current << bits_left)
+        return words
+
+    def header_length(self):
+        """Words of header per cascade slice (identical for all dests)."""
+        return len(self.encode(0))
+
+    def hbits(self):
+        """Total routing bits including cascade copies — Table 4's ``hbits``.
+
+        For ``hw = 0`` Table 4 states ``ceil(sum(log2 r_s) / w) * w * c``,
+        which assumes digits pack without crossing word boundaries (true
+        of every configuration in Table 3).  When a digit *would*
+        straddle, the encoder pads and starts a new word, so the header
+        can be longer than the formula; this method always reports the
+        real encoded size.
+        """
+        if self.hw >= 1:
+            return self.hw * self.w * self.cascade_width * self.stages
+        return len(self._pack_hw0(self.digits(0))) * self.w * self.cascade_width
+
+    # ------------------------------------------------------------------
+    # Router-side configuration and oracle
+    # ------------------------------------------------------------------
+
+    def swallow_flags(self):
+        """Per-stage swallow configuration bits (hw = 0 only).
+
+        A stage swallows when its shift exhausts the head word —
+        including the forced-padding case where a later stage's digit
+        would not have fit (the last stage that consumed bits from the
+        padded word drops it) — and the last bit-consuming stage drops
+        any final partial word so endpoints receive pure payload.
+        Radix-1 stages consume no bits and never swallow.  For
+        ``hw >= 1`` routers the flags are all False (swallow is "only
+        relevant on components where hw = 0", Table 2).
+        """
+        flags = [False] * self.stages
+        if self.hw >= 1:
+            return flags
+        bits_left = self.w
+        last_consumer = None
+        word_open = False
+        for s, bits in enumerate(self.stage_bits):
+            if bits == 0:
+                continue
+            if bits_left < bits:
+                flags[last_consumer] = True
+                bits_left = self.w
+            word_open = True
+            last_consumer = s
+            bits_left -= bits
+            if bits_left == 0:
+                flags[s] = True
+                bits_left = self.w
+                word_open = False
+        if word_open and last_consumer is not None:
+            flags[last_consumer] = True
+        return flags
+
+    def simulate(self, dest):
+        """Oracle: per-stage (direction, remaining header words).
+
+        Mirrors exactly what a chain of correctly configured routers
+        does to the header: returns a list with one entry per stage,
+        ``(direction, header_words_after_stage)`` where the word list
+        is what a downstream observer would see of the header after
+        that stage consumed/shifted its share.
+        """
+        words = self.encode(dest)
+        flags = self.swallow_flags()
+        results = []
+        if self.hw >= 1:
+            for s in range(self.stages):
+                direction = words[0] & (self.stage_radices[s] - 1)
+                words = words[self.hw :]
+                results.append((direction, list(words)))
+            return results
+        mask = (1 << self.w) - 1
+        for s, bits in enumerate(self.stage_bits):
+            if bits == 0:
+                # Radix-1 stage: routes on the head word (which may be
+                # payload) without consuming or shifting anything.
+                results.append((0, list(words)))
+                continue
+            head = words[0]
+            direction = head >> (self.w - bits)
+            if flags[s]:
+                words = words[1:]
+            else:
+                words = [((head << bits) & mask)] + words[1:]
+            results.append((direction, list(words)))
+        return results

@@ -1,0 +1,209 @@
+"""Multibutterfly wiring: who connects to whom.
+
+Within each destination block, the incoming wires are assigned to
+router inputs by a random permutation — the "randomly-wired
+multibutterfly" of Leighton & Maggs that the paper builds on — or by
+the identity permutation for a deterministic butterfly-style network
+(useful for reproducible tests and as an ablation).  The *logical*
+structure (which block each wire belongs to) is identical either way;
+randomization only spreads which redundant path serves which input.
+
+The output of :func:`wire` is a flat list of :class:`Link` records,
+which the builder (:mod:`repro.network.builder`) turns into channels,
+and which the analysis module turns into a graph.
+"""
+
+import random
+
+
+class NodeRef:
+    """One side of a link: an endpoint port or a router port.
+
+    ``kind`` is ``"endpoint"`` or ``"router"``.  For endpoints,
+    ``index`` is the endpoint number and ``port`` its out/in port.  For
+    routers, ``stage``/``block``/``index`` locate the router and
+    ``port`` is the forward (as destination) or backward (as source)
+    port number.
+    """
+
+    __slots__ = ("kind", "stage", "block", "index", "port")
+
+    def __init__(self, kind, index, port, stage=None, block=None):
+        self.kind = kind
+        self.index = index
+        self.port = port
+        self.stage = stage
+        self.block = block
+
+    def key(self):
+        return (self.kind, self.stage, self.block, self.index, self.port)
+
+    def router_key(self):
+        """Identity of the router/endpoint, ignoring the port."""
+        return (self.kind, self.stage, self.block, self.index)
+
+    def __eq__(self, other):
+        return isinstance(other, NodeRef) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        if self.kind == "endpoint":
+            return "ep{}[{}]".format(self.index, self.port)
+        return "r{}.{}.{}[{}]".format(self.stage, self.block, self.index, self.port)
+
+
+class Link:
+    """A wire from a producer port to a consumer port."""
+
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+    def __repr__(self):
+        return "<Link {} -> {}>".format(self.src, self.dst)
+
+
+def endpoint_out(index, port):
+    return NodeRef("endpoint", index, port)
+
+
+def endpoint_in(index, port):
+    return NodeRef("endpoint", index, port)
+
+
+def router_ref(stage, block, index, port):
+    return NodeRef("router", index, port, stage=stage, block=block)
+
+
+def _assign_groups_to_routers(groups, n_targets, capacity, rng, randomize):
+    """Assign each group's wires to routers, distinct routers per group.
+
+    ``groups`` is a list of wire lists; wires belonging to one group
+    are the ``d`` equivalent outputs of one upstream dilation group (or
+    one endpoint's output ports), and landing them on *distinct*
+    downstream routers is what makes dilation provide router-level
+    redundancy — the defining multibutterfly property.
+
+    Balanced greedy: each group takes the currently-emptiest targets
+    (ties broken randomly, or by index for deterministic wiring).
+    With ``capacity % group_size == 0`` this never dead-ends in
+    practice; if a group is larger than the target count, repeats are
+    unavoidable and allowed.
+
+    Returns a list of ``(wire, target_index)`` pairs.
+    """
+    remaining = [capacity] * n_targets
+    order = list(range(len(groups)))
+    if randomize:
+        rng.shuffle(order)
+    assignment = []
+    for group_index in order:
+        wires = groups[group_index]
+        chosen = []
+        taken = set()
+        for wire_ref in wires:
+            candidates = [
+                t for t in range(n_targets) if remaining[t] > 0 and t not in taken
+            ]
+            if not candidates:
+                # Group larger than target count: repeats unavoidable.
+                candidates = [t for t in range(n_targets) if remaining[t] > 0]
+            if randomize:
+                best = max(remaining[t] for t in candidates)
+                pool = [t for t in candidates if remaining[t] == best]
+                target = rng.choice(pool)
+            else:
+                target = max(candidates, key=lambda t: (remaining[t], -t))
+            remaining[target] -= 1
+            taken.add(target)
+            chosen.append((wire_ref, target))
+        assignment.extend(chosen)
+    return assignment
+
+
+def wire(plan, rng=None, randomize=True):
+    """Produce the full link list for ``plan``.
+
+    The wiring within each destination block places the ``d`` wires of
+    every upstream dilation group on ``d`` distinct routers (see
+    :func:`_assign_groups_to_routers`); with ``randomize`` the choice
+    among balanced targets and the port assignment within each router
+    are random (a randomly-wired multibutterfly), otherwise both are
+    deterministic.
+
+    :param plan: a validated :class:`~repro.network.topology.NetworkPlan`.
+    :param rng: ``random.Random`` used when ``randomize``; defaults to
+        a fixed-seed generator so networks are reproducible.
+    :param randomize: False builds a deterministic butterfly-style
+        wiring instead.
+    :returns: list of :class:`Link`.
+    """
+    if rng is None:
+        rng = random.Random(0x4D4554)  # "MET"
+    links = []
+
+    # Wires flowing into the current stage, grouped by block.  Each
+    # block holds a list of *groups*; a group is the list of equivalent
+    # wires that must spread across distinct routers.
+    initial_groups = [
+        [endpoint_out(e, p) for p in range(plan.endpoint_out_ports)]
+        for e in range(plan.n_endpoints)
+    ]
+    groups_by_block = {0: initial_groups}
+
+    for s, stage in enumerate(plan.stages):
+        routers_per_block = plan.routers_per_block[s]
+        next_groups = {}
+        for block in range(plan.blocks_per_stage[s]):
+            groups = groups_by_block[block]
+            total = sum(len(g) for g in groups)
+            if total != routers_per_block * stage.params.i:
+                raise AssertionError(
+                    "stage {} block {}: {} wires for {} router inputs".format(
+                        s, block, total, routers_per_block * stage.params.i
+                    )
+                )
+            assignment = _assign_groups_to_routers(
+                groups, routers_per_block, stage.params.i, rng, randomize
+            )
+            # Deal each router's incoming wires onto its forward ports.
+            per_router = [[] for _ in range(routers_per_block)]
+            for wire_ref, target in assignment:
+                per_router[target].append(wire_ref)
+            for router_index, wires in enumerate(per_router):
+                if randomize:
+                    rng.shuffle(wires)
+                for fwd_port, producer in enumerate(wires):
+                    links.append(
+                        Link(producer, router_ref(s, block, router_index, fwd_port))
+                    )
+            # Outgoing wires: direction g's dilation group feeds the
+            # sub-block block*r + g of the next stage; the group's d
+            # wires stay together as one next-stage group.
+            for router_index in range(routers_per_block):
+                for g in range(stage.radix):
+                    group = [
+                        router_ref(s, block, router_index, g * stage.dilation + j)
+                        for j in range(stage.dilation)
+                    ]
+                    next_block = block * stage.radix + g
+                    next_groups.setdefault(next_block, []).append(group)
+        groups_by_block = next_groups
+
+    # Final stage blocks map one-to-one onto endpoints.
+    for dest in range(plan.n_endpoints):
+        incoming = [ref for group in groups_by_block[dest] for ref in group]
+        if len(incoming) != plan.endpoint_in_ports:
+            raise AssertionError(
+                "endpoint {} receives {} wires, expected {}".format(
+                    dest, len(incoming), plan.endpoint_in_ports
+                )
+            )
+        for port, producer in enumerate(incoming):
+            links.append(Link(producer, endpoint_in(dest, port)))
+
+    return links

@@ -1,0 +1,164 @@
+"""Network linter: consistency checks over a built network.
+
+A METRO network has redundant descriptions of the same facts — the
+plan, the codec, each router's Table 2 configuration, and the physical
+channel graph.  :func:`validate_network` cross-checks them and returns
+a list of human-readable problems (empty = consistent).  The builder
+produces consistent networks by construction; the validator exists for
+users who reconfigure networks by hand (or through scan) and want to
+know the configuration still makes sense before running traffic.
+"""
+
+
+def validate_network(network):
+    """Return a list of problem strings for ``network``."""
+    problems = []
+    problems.extend(_check_attachment(network))
+    problems.extend(_check_dilation(network))
+    problems.extend(_check_swallow(network))
+    problems.extend(_check_turn_delays(network))
+    problems.extend(_check_reachability(network))
+    return problems
+
+
+def _check_attachment(network):
+    problems = []
+    for router in network.all_routers():
+        for port, end in enumerate(router.forward_ends):
+            if end is None:
+                problems.append(
+                    "{}: forward port {} unattached".format(router.name, port)
+                )
+        for port, end in enumerate(router.backward_ends):
+            if end is None:
+                problems.append(
+                    "{}: backward port {} unattached".format(router.name, port)
+                )
+    for endpoint in network.endpoints:
+        if len(endpoint.source_ends) != network.plan.endpoint_out_ports:
+            problems.append(
+                "{}: {} source ports attached, plan says {}".format(
+                    endpoint.name,
+                    len(endpoint.source_ends),
+                    network.plan.endpoint_out_ports,
+                )
+            )
+        if len(endpoint.receive_ends) != network.plan.endpoint_in_ports:
+            problems.append(
+                "{}: {} receive ports attached, plan says {}".format(
+                    endpoint.name,
+                    len(endpoint.receive_ends),
+                    network.plan.endpoint_in_ports,
+                )
+            )
+    return problems
+
+
+def _check_dilation(network):
+    problems = []
+    for (stage, _block, _index), router in network.router_grid.items():
+        want = network.plan.stages[stage].dilation
+        if router.config.dilation != want:
+            problems.append(
+                "{}: dilation {} but stage {} plans {}".format(
+                    router.name, router.config.dilation, stage, want
+                )
+            )
+    return problems
+
+
+def _check_swallow(network):
+    problems = []
+    flags = network.codec.swallow_flags()
+    for (stage, _block, _index), router in network.router_grid.items():
+        if router.params.hw != 0:
+            continue
+        for port in range(router.params.i):
+            if router.config.swallow[port] != flags[stage]:
+                problems.append(
+                    "{}: forward port {} swallow={} but codec wants {} at "
+                    "stage {}".format(
+                        router.name,
+                        port,
+                        router.config.swallow[port],
+                        flags[stage],
+                        stage,
+                    )
+                )
+    return problems
+
+
+def _check_turn_delays(network):
+    problems = []
+    for (src_key, dst_key), channel in network.channels.items():
+        for key, is_source in ((src_key, True), (dst_key, False)):
+            if key[0] != "router":
+                continue
+            _, stage, block, index, port = key
+            router = network.router_grid[(stage, block, index)]
+            if is_source:
+                port_id = router.config.backward_port_id(port)
+            else:
+                port_id = router.config.forward_port_id(port)
+            want = min(channel.delay, router.params.max_vtd)
+            have = router.config.turn_delay[port_id]
+            if have != want:
+                problems.append(
+                    "{}: port id {} turn delay {} but wire {} is {} deep".format(
+                        router.name, port_id, have, channel.name, channel.delay
+                    )
+                )
+    return problems
+
+
+def _check_reachability(network):
+    """Every destination must keep at least one enabled route.
+
+    Uses the destination-filtered graph restricted to *enabled* ports;
+    a too-aggressive masking session can silently isolate an endpoint,
+    which is exactly what an operator wants the linter to say.
+    """
+    import networkx as nx
+
+    from repro.network import analysis
+
+    problems = []
+    graph = analysis.build_graph(network.plan, network.links)
+    # Remove edges whose producing or consuming port is disabled.
+    removed = []
+    for link in network.links:
+        for ref, backward in ((link.src, True), (link.dst, False)):
+            if ref.kind != "router":
+                continue
+            router = network.router_grid[(ref.stage, ref.block, ref.index)]
+            if backward:
+                port_id = router.config.backward_port_id(ref.port)
+            else:
+                port_id = router.config.forward_port_id(ref.port)
+            if not router.config.port_enabled[port_id]:
+                removed.append(
+                    (
+                        analysis._node(link.src, is_source=True),
+                        analysis._node(link.dst, is_source=False),
+                    )
+                )
+                break
+    for dest in range(network.plan.n_endpoints):
+        sub = analysis.route_subgraph(network.plan, graph, dest)
+        for edge in removed:
+            u, v = edge
+            while sub.has_edge(u, v):
+                sub.remove_edge(u, v)
+        sink = ("dst", dest)
+        reaches_sink = (
+            nx.ancestors(sub, sink) if sink in sub else set()
+        )
+        for src in range(network.plan.n_endpoints):
+            source = ("src", src)
+            if source not in reaches_sink:
+                problems.append(
+                    "no enabled route from endpoint {} to endpoint {}".format(
+                        src, dest
+                    )
+                )
+    return problems

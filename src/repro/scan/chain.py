@@ -1,0 +1,166 @@
+"""Board-level scan chains: many routers on one serial path.
+
+A machine built from METRO routers daisy-chains their TAPs: one
+TCK/TMS pair fans out to every component and TDO of each feeds TDI of
+the next.  The host then addresses one router by loading BYPASS into
+all the others — their data registers collapse to a single bit — and
+shifts the target's register through the whole chain.  (The MultiTAP
+feature gives each component ``sp`` such chains for redundancy; a
+:class:`ScanChain` represents one of them.)
+"""
+
+from repro.scan import registers as R
+from repro.scan import tap as T
+
+
+class ScanChain:
+    """TAPs daisy-chained TDO -> TDI with common TMS.
+
+    :param routers: the routers on this chain, in chain order (TDI of
+        ``routers[0]`` is the host's TDI; TDO of the last is what the
+        host reads).
+    :param port: which MultiTAP port of each router this chain uses.
+    """
+
+    def __init__(self, routers, port=0):
+        from repro.scan.controller import attach_scan
+
+        if not routers:
+            raise ValueError("a scan chain needs at least one router")
+        self.routers = list(routers)
+        self.port = port
+        for router in self.routers:
+            if not hasattr(router, "multitap"):
+                attach_scan(router)
+
+    def __len__(self):
+        return len(self.routers)
+
+    # -- chain-level clocking -------------------------------------------
+
+    def step(self, tms, tdi=0):
+        """One TCK edge on every TAP; returns the chain's TDO."""
+        bit = tdi
+        for router in self.routers:
+            bit = router.multitap.step(self.port, tms, bit)
+        return bit
+
+    def reset(self):
+        for _ in range(5):
+            self.step(1)
+
+    def _goto_idle(self):
+        self.reset()
+        self.step(0)
+
+    # -- instruction loading --------------------------------------------
+
+    def load_instructions(self, opcodes):
+        """Shift one instruction per router (chain order).
+
+        During Shift-IR the chain is ``4 * n`` bits long; the bits for
+        the *last* router in the chain are shifted in first.
+        """
+        if len(opcodes) != len(self.routers):
+            raise ValueError(
+                "{} opcodes for {} routers".format(len(opcodes), len(self.routers))
+            )
+        self._goto_idle()
+        self.step(1)
+        self.step(1)
+        self.step(0)  # -> Capture-IR everywhere
+        self.step(0)  # capture edge -> Shift-IR
+        bits = []
+        for opcode in reversed(opcodes):
+            bits.extend((opcode >> index) & 1 for index in range(T.IR_WIDTH))
+        for index, bit in enumerate(bits):
+            last = index == len(bits) - 1
+            self.step(1 if last else 0, bit)
+        self.step(1)  # -> Update-IR
+        self.step(0)  # -> Run-Test/Idle
+
+    # -- data scanning ---------------------------------------------------
+
+    def _dr_lengths(self, opcodes):
+        lengths = []
+        for router, opcode in zip(self.routers, opcodes):
+            if opcode == T.BYPASS:
+                lengths.append(1)
+            elif opcode == T.IDCODE:
+                lengths.append(32)
+            elif opcode == T.CONFIG:
+                lengths.append(R.config_chain_width(router.params))
+            elif opcode in (T.SAMPLE, T.EXTEST):
+                lengths.append(R.boundary_width(router.params))
+            else:
+                lengths.append(1)
+        return lengths
+
+    def scan_dr(self, bits_in):
+        """One DR scan through the whole chain; returns captured bits."""
+        self.step(1)
+        self.step(0)  # -> Capture-DR
+        self.step(0)  # capture edge -> Shift-DR
+        out = []
+        for index, bit in enumerate(bits_in):
+            last = index == len(bits_in) - 1
+            out.append(self.step(1 if last else 0, bit))
+        self.step(1)  # -> Update-DR
+        self.step(0)  # -> Run-Test/Idle
+        return out
+
+    # -- high-level operations --------------------------------------------
+
+    def read_all_idcodes(self):
+        """IDCODE of every router, in chain order."""
+        self.load_instructions([T.IDCODE] * len(self.routers))
+        total = 32 * len(self.routers)
+        bits = self.scan_dr([0] * total)
+        codes = []
+        # The first 32 bits out came from the LAST router in the chain.
+        for slot in range(len(self.routers)):
+            chunk = bits[slot * 32 : (slot + 1) * 32]
+            value = 0
+            for index, bit in enumerate(chunk):
+                value |= (1 if bit else 0) << index
+            codes.append(value)
+        codes.reverse()
+        return codes
+
+    def write_config(self, target_index, config_bits):
+        """Rewrite one router's configuration; all others in BYPASS.
+
+        ``config_bits`` are the target's full chain encoding (see
+        :func:`repro.scan.registers.encode_config`).
+        """
+        n = len(self.routers)
+        opcodes = [T.BYPASS] * n
+        opcodes[target_index] = T.CONFIG
+        self.load_instructions(opcodes)
+        lengths = self._dr_lengths(opcodes)
+        if len(config_bits) != lengths[target_index]:
+            raise ValueError(
+                "config is {} bits, chain expects {}".format(
+                    len(config_bits), lengths[target_index]
+                )
+            )
+        # Build the full shift-in image: bits for the last router enter
+        # first.  Registers shift LSB-first, TDI entering at the MSB
+        # end, so each register's image is its bits in order.
+        image = []
+        for index in reversed(range(n)):
+            if index == target_index:
+                image.extend(config_bits)
+            else:
+                image.extend([0] * lengths[index])
+        self.scan_dr(image)
+
+    def configure(self, target_index, mutate):
+        """Read-modify-write one router's config through the chain."""
+        from repro.core.parameters import RouterConfig
+
+        router = self.routers[target_index]
+        scratch = RouterConfig(router.params)
+        R.decode_config(scratch, R.encode_config(router.config))
+        mutate(scratch)
+        self.write_config(target_index, R.encode_config(scratch))

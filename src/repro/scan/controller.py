@@ -1,0 +1,191 @@
+"""Host-side scan controller.
+
+Drives TMS/TDI sequences into a router's (Multi)TAP to read the
+IDCODE, read/write the Table 2 configuration chain, disable and
+re-enable ports, and run the port-isolation tests that underpin
+on-line fault diagnosis (paper, Section 5.1, Scan Support).
+"""
+
+import math
+
+from repro.scan import registers as R
+from repro.scan import tap as T
+from repro.scan.multitap import MultiTap
+
+
+def attach_scan(router, sp=None):
+    """Create the MultiTAP + registers for one router; returns MultiTap.
+
+    The result is also stored on the router as ``router.multitap`` so a
+    controller can find it later.
+    """
+    regs = {
+        T.CONFIG: R.make_config_register(router),
+        T.SAMPLE: R.make_boundary_register(router),
+        T.EXTEST: R.make_boundary_register(router),
+    }
+    multitap = MultiTap(
+        regs,
+        idcode=R.make_idcode(router.params),
+        sp=sp if sp is not None else router.params.sp,
+    )
+    router.multitap = multitap
+    return multitap
+
+
+class ScanController:
+    """Talks to one router through one TAP port of its MultiTAP."""
+
+    def __init__(self, router, port=0):
+        if not hasattr(router, "multitap"):
+            attach_scan(router)
+        self.router = router
+        self.port = port
+
+    # -- low-level TAP driving ------------------------------------------
+
+    def _step(self, tms, tdi=0):
+        return self.router.multitap.step(self.port, tms, tdi)
+
+    def reset(self):
+        for _ in range(5):  # five TMS=1 clocks reach reset from anywhere
+            self._step(1)
+
+    def _load_instruction(self, opcode):
+        # From Run-Test/Idle: Select-DR, Select-IR, Capture-IR, then one
+        # edge to enter Shift-IR (the capture edge shifts nothing).
+        self._step(1)
+        self._step(1)
+        self._step(0)
+        self._step(0)
+        bits = [(opcode >> index) & 1 for index in range(T.IR_WIDTH)]
+        for index, bit in enumerate(bits):
+            last = index == len(bits) - 1
+            self._step(1 if last else 0, bit)  # exit on the final shift
+        self._step(1)  # Exit1-IR -> Update-IR
+        self._step(0)  # -> Run-Test/Idle
+
+    def _scan_dr(self, bits_in):
+        """Shift ``bits_in`` through the selected DR; returns captured bits."""
+        self._step(1)  # -> Select-DR
+        self._step(0)  # -> Capture-DR
+        self._step(0)  # -> Shift-DR (capture happened on this edge)
+        out = []
+        for index, bit in enumerate(bits_in):
+            last = index == len(bits_in) - 1
+            out.append(self._step(1 if last else 0, bit))
+        self._step(1)  # Exit1-DR -> Update-DR
+        self._step(0)  # -> Run-Test/Idle
+        return out
+
+    def _goto_idle(self):
+        self.reset()
+        self._step(0)  # -> Run-Test/Idle
+
+    # -- high-level operations -------------------------------------------
+
+    def read_idcode(self):
+        self._goto_idle()
+        self._load_instruction(T.IDCODE)
+        bits = self._scan_dr([0] * 32)
+        value = 0
+        for index, bit in enumerate(bits):
+            value |= (1 if bit else 0) << index
+        return value
+
+    def read_config_bits(self):
+        """Read the chain non-destructively.
+
+        One DR scan of 2x the chain width: the first half shifts the
+        captured configuration out, the second half shifts it straight
+        back in, so the mandatory Update-DR on exit rewrites exactly
+        what was there — the live configuration never glitches.
+        """
+        self._goto_idle()
+        self._load_instruction(T.CONFIG)
+        width = R.config_chain_width(self.router.params)
+        self._step(1)  # -> Select-DR
+        self._step(0)  # -> Capture-DR
+        self._step(0)  # -> Shift-DR
+        captured = [self._step(0, 0) for _ in range(width)]
+        for index, bit in enumerate(captured):
+            last = index == width - 1
+            self._step(1 if last else 0, bit)
+        self._step(1)  # Exit1-DR -> Update-DR (rewrites the original)
+        self._step(0)  # -> Run-Test/Idle
+        return captured
+
+    def write_config_bits(self, bits):
+        self._goto_idle()
+        self._load_instruction(T.CONFIG)
+        return self._scan_dr(list(bits))
+
+    def write_config(self, mutate):
+        """Read-modify-write the configuration through the chain.
+
+        ``mutate(config_copy)`` edits a scratch RouterConfig; the
+        resulting serialization is shifted in and applied by Update-DR.
+        Returns the previous chain bits.
+        """
+        from repro.core.parameters import RouterConfig
+
+        scratch = RouterConfig(self.router.params)
+        previous = self.read_config_bits()  # via the scan chain itself
+        R.decode_config(scratch, previous)
+        mutate(scratch)
+        self.write_config_bits(R.encode_config(scratch))
+        return previous
+
+    def disable_port(self, port_id, drive=False):
+        """Take one port out of service (optionally keep its driver)."""
+        def mutate(config):
+            config.port_enabled[port_id] = False
+            config.off_port_drive[port_id] = drive
+        self.write_config(mutate)
+
+    def enable_port(self, port_id):
+        def mutate(config):
+            config.port_enabled[port_id] = True
+            config.off_port_drive[port_id] = False
+        self.write_config(mutate)
+
+    def set_fast_reclaim(self, port_id, value):
+        def mutate(config):
+            config.fast_reclaim[port_id] = bool(value)
+        self.write_config(mutate)
+
+    def set_dilation(self, dilation):
+        def mutate(config):
+            config.dilation = dilation
+        self.write_config(mutate)
+
+    def sample_boundary(self):
+        """SAMPLE: per-port last-seen data word values."""
+        self._goto_idle()
+        self._load_instruction(T.SAMPLE)
+        width = R.boundary_width(self.router.params)
+        bits = self._scan_dr([0] * width)
+        w = self.router.params.w
+        words = []
+        for port_id in range(self.router.params.i + self.router.params.o):
+            value = 0
+            for index in range(w):
+                value |= (1 if bits[port_id * w + index] else 0) << index
+            words.append(value)
+        return words
+
+    def extest_drive(self, backward_port, value):
+        """EXTEST: drive ``value`` out a disabled backward port.
+
+        The port must already be disabled with off-port drive on (use
+        :meth:`disable_port` with ``drive=True``).
+        """
+        params = self.router.params
+        width = R.boundary_width(params)
+        bits = [0] * width
+        port_id = self.router.config.backward_port_id(backward_port)
+        for index in range(params.w):
+            bits[port_id * params.w + index] = (value >> index) & 1
+        self._goto_idle()
+        self._load_instruction(T.EXTEST)
+        self._scan_dr(bits)

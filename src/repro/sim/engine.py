@@ -1,0 +1,69 @@
+"""The two-phase synchronous simulation engine."""
+
+
+class Engine:
+    """Clocks a collection of components and channels in lockstep.
+
+    Each call to :meth:`step` performs one cycle of the central clock:
+
+    1. every registered component's ``tick(cycle)`` runs, reading the
+       *current* channel outputs and staging new inputs;
+    2. every channel advances its pipeline registers by one stage.
+
+    Because reads see pre-tick state and writes are staged, the order in
+    which components tick is irrelevant — the simulation is a faithful
+    model of a fully synchronous design.
+    """
+
+    def __init__(self):
+        self.cycle = 0
+        self.components = []
+        self.channels = []
+        self._pre_cycle_hooks = []
+
+    def add_component(self, component):
+        """Register a clocked component; returns it for chaining."""
+        self.components.append(component)
+        return component
+
+    def add_channel(self, channel):
+        """Register a channel; returns it for chaining."""
+        self.channels.append(channel)
+        return channel
+
+    def add_pre_cycle_hook(self, hook):
+        """Register ``hook(engine)`` to run before each cycle's ticks.
+
+        Used by the fault injector to flip faults on/off at scheduled
+        cycles without being a component itself.
+        """
+        self._pre_cycle_hooks.append(hook)
+
+    def step(self):
+        """Advance the simulation by exactly one clock cycle."""
+        for hook in self._pre_cycle_hooks:
+            hook(self)
+        cycle = self.cycle
+        for component in self.components:
+            component.tick(cycle)
+        for channel in self.channels:
+            channel.advance()
+        self.cycle = cycle + 1
+
+    def run(self, cycles):
+        """Advance the simulation by ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(self, predicate, max_cycles=1000000):
+        """Step until ``predicate(engine)`` is true or the cycle budget ends.
+
+        Returns True if the predicate fired, False on budget exhaustion.
+        The predicate is evaluated *before* each step so a condition
+        that already holds costs zero cycles.
+        """
+        for _ in range(max_cycles):
+            if predicate(self):
+                return True
+            self.step()
+        return predicate(self)

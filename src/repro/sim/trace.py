@@ -1,0 +1,57 @@
+"""Lightweight event tracing for simulations.
+
+Routers and endpoints emit trace events (connection opened, blocked,
+turned, dropped, message delivered, ...) when a :class:`Trace` is
+attached.  Traces are the raw material for the experiment harness's
+statistics and for debugging protocol interactions.
+"""
+
+from collections import Counter
+
+
+class TraceEvent:
+    """A single timestamped event."""
+
+    __slots__ = ("cycle", "source", "kind", "detail")
+
+    def __init__(self, cycle, source, kind, detail=None):
+        self.cycle = cycle
+        self.source = source
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self):
+        return "<TraceEvent @{} {} {} {}>".format(
+            self.cycle, self.source, self.kind, self.detail
+        )
+
+
+class Trace:
+    """Collects :class:`TraceEvent` objects and summary counters.
+
+    ``enabled_kinds`` restricts recording to an explicit set of event
+    kinds; with the default of None every event is kept.  Counters are
+    always maintained, so long statistical runs can disable full event
+    retention (``keep_events=False``) and still aggregate outcomes.
+    """
+
+    def __init__(self, enabled_kinds=None, keep_events=True):
+        self.events = []
+        self.counts = Counter()
+        self.enabled_kinds = enabled_kinds
+        self.keep_events = keep_events
+
+    def record(self, cycle, source, kind, detail=None):
+        if self.enabled_kinds is not None and kind not in self.enabled_kinds:
+            return
+        self.counts[kind] += 1
+        if self.keep_events:
+            self.events.append(TraceEvent(cycle, source, kind, detail))
+
+    def of_kind(self, kind):
+        """All recorded events of the given kind, in time order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def clear(self):
+        self.events = []
+        self.counts = Counter()

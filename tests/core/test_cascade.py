@@ -1,0 +1,146 @@
+"""Width cascading: shared randomness + wired-AND consistency."""
+
+import pytest
+
+from repro.core import words as W
+from repro.core.cascade import CascadeGroup, join_slices, split_value
+from repro.core.parameters import RouterConfig, RouterParameters
+from repro.core.random_source import SharedRandomBus
+from repro.core.router import DISCARD_STATE, FORWARD_STATE, MetroRouter
+from repro.sim.channel import Channel
+from repro.sim.engine import Engine
+
+
+class TestSlicing:
+    def test_split_join_roundtrip(self):
+        for value in (0, 1, 0xAB, 0xFFFF, 0x1234):
+            assert join_slices(split_value(value, 4, 4), 4) == value
+
+    def test_split_is_little_endian(self):
+        assert split_value(0xAB, 4, 2) == [0xB, 0xA]
+
+    def test_join_masks_overwide_slices(self):
+        assert join_slices([0x1F, 0x1], 4) == 0x1F & 0xF | (0x1 << 4)
+
+
+class CascadeHarness:
+    """``c`` routers fed identical headers, slice-distinct data."""
+
+    def __init__(self, c=2, seed=11):
+        self.c = c
+        self.params = RouterParameters(i=4, o=4, w=4, max_d=2)
+        self.bus = SharedRandomBus(seed=seed)
+        self.engine = Engine()
+        self.members = []
+        self.fwd = []  # [member][port]
+        self.bwd = []
+        for index in range(c):
+            router = MetroRouter(
+                self.params,
+                name="slice{}".format(index),
+                config=RouterConfig(self.params, dilation=2),
+                random_stream=self.bus,
+            )
+            self.engine.add_component(router)
+            fwd_ends, bwd_ends = [], []
+            for p in range(4):
+                channel = Channel(name="f{}:{}".format(index, p))
+                self.engine.add_channel(channel)
+                router.attach_forward(p, channel.b)
+                fwd_ends.append(channel.a)
+            for q in range(4):
+                channel = Channel(name="b{}:{}".format(index, q))
+                self.engine.add_channel(channel)
+                router.attach_backward(q, channel.a)
+                bwd_ends.append(channel.b)
+            self.members.append(router)
+            self.fwd.append(fwd_ends)
+            self.bwd.append(bwd_ends)
+        self.group = CascadeGroup(self.members)
+        self.engine.add_component(self.group)
+
+    def send_all(self, port, word_per_member):
+        for index in range(self.c):
+            self.fwd[index][port].send(word_per_member[index])
+        self.engine.step()
+
+    def step(self, n=1):
+        self.engine.run(n)
+
+
+def test_identical_requests_allocate_identically():
+    h = CascadeHarness(c=2)
+    for trial in range(20):
+        header = W.data(0b1000 if trial % 2 else 0b0000)
+        h.send_all(0, [header, header])
+        h.step()
+        ports = [m.connected_backward_port(0) for m in h.members]
+        assert ports[0] is not None
+        assert ports[0] == ports[1]
+        assert h.group.consistent()
+        for index in range(h.c):
+            h.fwd[index][0].send(W.DROP_WORD)
+        h.step(3)
+
+
+def test_four_wide_cascade_consistent():
+    h = CascadeHarness(c=4)
+    h.send_all(0, [W.data(0b1000)] * 4)
+    h.step()
+    ports = {m.connected_backward_port(0) for m in h.members}
+    assert len(ports) == 1
+    assert h.group.consistent()
+
+
+def test_corrupted_header_slice_detected_and_contained():
+    """One slice sees a different direction bit: the wired-AND must
+    fire and shut the connection down on every member."""
+    h = CascadeHarness(c=2)
+    h.send_all(0, [W.data(0b0000), W.data(0b1000)])  # directions 0 vs 1
+    bcbs = []
+    for _ in range(4):
+        h.step()
+        bcbs.extend(
+            b for b in (h.fwd[i][0].recv_bcb() for i in range(2)) if b is not None
+        )
+    assert h.group.mismatches >= 1
+    for member in h.members:
+        assert member.busy_backward_ports() == []
+        assert member.connection_state(0) == DISCARD_STATE
+    # The source hears the teardown via BCB on every slice.
+    assert bcbs
+
+
+def test_mismatch_counts_once_per_disagreement_event():
+    h = CascadeHarness(c=2)
+    h.send_all(0, [W.data(0b0000), W.data(0b1000)])
+    h.step(4)
+    first = h.group.mismatches
+    h.step(4)
+    assert h.group.mismatches == first  # no further events after kill
+
+
+def test_healthy_traffic_survives_alongside_group():
+    """The consistency check is passive for agreeing members."""
+    h = CascadeHarness(c=2)
+    payload = [0x1, 0x2, 0x3]
+    words = [W.data(0b0000)] + [W.data(v) for v in payload]
+    for word in words:
+        h.send_all(0, [word, word])
+    h.step(3)
+    assert all(m.connection_state(0) == FORWARD_STATE for m in h.members)
+    assert h.group.consistent()
+    assert h.group.mismatches == 0
+
+
+def test_cascade_requires_two_members():
+    h = CascadeHarness(c=2)
+    with pytest.raises(ValueError):
+        CascadeGroup([h.members[0]])
+
+
+def test_cascade_requires_matching_geometry():
+    h = CascadeHarness(c=2)
+    other = MetroRouter(RouterParameters(i=8, o=8, w=8, max_d=2))
+    with pytest.raises(ValueError):
+        CascadeGroup([h.members[0], other])

@@ -1,0 +1,121 @@
+"""Table 1 parameters and Table 2 configuration options."""
+
+import pytest
+
+from repro.core.parameters import METROJR, RouterConfig, RouterParameters
+
+
+class TestRouterParameters:
+    def test_metrojr_matches_paper_section_6_1(self):
+        # "METROJR is a minimal implementation ... with i = o = w = 4,
+        #  hw = 0, dp = 1, and max_d = 2."
+        assert METROJR.i == 4
+        assert METROJR.o == 4
+        assert METROJR.w == 4
+        assert METROJR.hw == 0
+        assert METROJR.dp == 1
+        assert METROJR.max_d == 2
+
+    def test_radix_follows_dilation(self):
+        params = RouterParameters(i=8, o=8, w=8, max_d=2)
+        assert params.radix(1) == 8
+        assert params.radix(2) == 4
+        assert params.direction_bits(2) == 2
+        assert params.direction_bits(1) == 3
+
+    def test_radix_rejects_excess_dilation(self):
+        with pytest.raises(ValueError):
+            RouterParameters(i=4, o=4, w=4, max_d=2).radix(4)
+
+    @pytest.mark.parametrize("bad", [3, 5, 6, 7, 0])
+    def test_ports_must_be_powers_of_two(self, bad):
+        with pytest.raises(ValueError):
+            RouterParameters(i=bad, o=4, w=4, max_d=2)
+        with pytest.raises(ValueError):
+            RouterParameters(i=4, o=bad, w=4, max_d=2)
+
+    def test_w_must_cover_log2_o(self):
+        # Table 1: w >= log2(o).
+        with pytest.raises(ValueError):
+            RouterParameters(i=8, o=8, w=2, max_d=2)
+        RouterParameters(i=8, o=8, w=3, max_d=2)  # exactly log2(8) is fine
+
+    def test_max_d_bounded_by_o(self):
+        with pytest.raises(ValueError):
+            RouterParameters(i=4, o=4, w=4, max_d=8)
+
+    def test_dp_and_hw_bounds(self):
+        with pytest.raises(ValueError):
+            RouterParameters(i=4, o=4, w=4, max_d=2, dp=0)
+        with pytest.raises(ValueError):
+            RouterParameters(i=4, o=4, w=4, max_d=2, hw=-1)
+        RouterParameters(i=4, o=4, w=4, max_d=2, hw=0, dp=1)
+
+    def test_equality(self):
+        assert RouterParameters() == RouterParameters()
+        assert RouterParameters(hw=1) != RouterParameters(hw=0)
+
+
+class TestRouterConfig:
+    def test_default_dilation_is_max(self):
+        config = RouterConfig(METROJR)
+        assert config.dilation == METROJR.max_d
+
+    def test_dilation_configurable_to_powers_of_two(self):
+        # Section 5.1: "the effective dilation of a METRO router may be
+        # configured to any power of two up to ... max_d."
+        config = RouterConfig(METROJR)
+        config.dilation = 1
+        assert config.radix == 4
+        config.dilation = 2
+        assert config.radix == 2
+        with pytest.raises(ValueError):
+            config.dilation = 4
+        with pytest.raises(ValueError):
+            config.dilation = 3
+
+    def test_backward_groups_partition_ports(self):
+        params = RouterParameters(i=8, o=8, w=8, max_d=2)
+        config = RouterConfig(params, dilation=2)
+        groups = [config.backward_group(g) for g in range(config.radix)]
+        flat = [p for group in groups for p in group]
+        assert sorted(flat) == list(range(8))
+        assert all(len(group) == 2 for group in groups)
+
+    def test_backward_group_bounds(self):
+        config = RouterConfig(METROJR, dilation=2)
+        with pytest.raises(ValueError):
+            config.backward_group(2)  # radix is 2: directions 0..1
+
+    def test_port_id_spaces(self):
+        config = RouterConfig(METROJR)
+        assert config.forward_port_id(0) == 0
+        assert config.forward_port_id(3) == 3
+        assert config.backward_port_id(0) == 4
+        assert config.backward_port_id(3) == 7
+        with pytest.raises(IndexError):
+            config.forward_port_id(4)
+        with pytest.raises(IndexError):
+            config.backward_port_id(4)
+
+    def test_turn_delay_bounded_by_max_vtd(self):
+        params = RouterParameters(i=4, o=4, w=4, max_d=2, max_vtd=3)
+        config = RouterConfig(params)
+        config.set_turn_delay(0, 3)
+        with pytest.raises(ValueError):
+            config.set_turn_delay(0, 4)
+
+    def test_table2_instance_counts(self):
+        config = RouterConfig(METROJR)
+        nports = METROJR.i + METROJR.o
+        assert len(config.port_enabled) == nports
+        assert len(config.off_port_drive) == nports
+        assert len(config.turn_delay) == nports
+        assert len(config.fast_reclaim) == nports
+        assert len(config.swallow) == METROJR.i  # forward ports only
+
+    def test_config_bit_count_positive_and_scales(self):
+        small = RouterConfig(METROJR).config_bit_count()
+        big = RouterConfig(RouterParameters(i=8, o=8, w=8, max_d=2)).config_bit_count()
+        assert small > 0
+        assert big > small

@@ -1,0 +1,84 @@
+"""Random bit streams and the shared cascade bus."""
+
+import pytest
+
+from repro.core.random_source import RandomStream, SharedRandomBus
+
+
+class TestRandomStream:
+    def test_bits_are_binary(self):
+        stream = RandomStream(1)
+        assert all(stream.bit() in (0, 1) for _ in range(100))
+
+    def test_bits_width(self):
+        stream = RandomStream(2)
+        for count in (1, 4, 8, 16):
+            assert 0 <= stream.bits(count) < (1 << count)
+
+    def test_bits_zero_or_negative(self):
+        stream = RandomStream(3)
+        assert stream.bits(0) == 0
+        assert stream.bits(-1) == 0
+
+    def test_choose_range(self):
+        stream = RandomStream(4)
+        assert all(0 <= stream.choose(5) < 5 for _ in range(200))
+
+    def test_choose_one_is_free(self):
+        stream = RandomStream(5)
+        before = stream._rng.getstate()
+        assert stream.choose(1) == 0
+        assert stream._rng.getstate() == before  # no entropy consumed
+
+    def test_choose_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(6).choose(0)
+
+    def test_reproducible(self):
+        a = [RandomStream(7).choose(8) for _ in range(1)]
+        b = [RandomStream(7).choose(8) for _ in range(1)]
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = [RandomStream(1).bits(32)]
+        b = [RandomStream(2).bits(32)]
+        assert a != b
+
+
+class TestSharedRandomBus:
+    def test_same_key_same_cycle_same_value(self):
+        bus = SharedRandomBus(1)
+        bus.begin_cycle(0)
+        first = bus.choose_shared("k", 4)
+        assert all(bus.choose_shared("k", 4) == first for _ in range(10))
+
+    def test_different_keys_independent(self):
+        bus = SharedRandomBus(2)
+        bus.begin_cycle(0)
+        values = {key: bus.choose_shared(key, 1000) for key in range(20)}
+        assert len(set(values.values())) > 1
+
+    def test_new_cycle_invalidates_memo(self):
+        bus = SharedRandomBus(3)
+        seen = set()
+        for cycle in range(50):
+            bus.begin_cycle(cycle)
+            seen.add(bus.choose_shared("k", 1000))
+        assert len(seen) > 10
+
+    def test_begin_cycle_idempotent_within_cycle(self):
+        bus = SharedRandomBus(4)
+        bus.begin_cycle(5)
+        value = bus.choose_shared("k", 16)
+        bus.begin_cycle(5)  # same cycle again: memo must survive
+        assert bus.choose_shared("k", 16) == value
+
+    def test_key_includes_candidate_count(self):
+        """(key, n) memoization: the same port arbitration with a
+        different free count is a different decision."""
+        bus = SharedRandomBus(5)
+        bus.begin_cycle(0)
+        a = bus.choose_shared("k", 2)
+        b = bus.choose_shared("k", 3)
+        # Both valid in their own ranges.
+        assert 0 <= a < 2 and 0 <= b < 3

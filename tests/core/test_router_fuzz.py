@@ -1,0 +1,138 @@
+"""Router fuzzing: arbitrary word sequences must never corrupt state.
+
+A METRO router on a real wire can see anything — noise, truncated
+streams, stray control tokens, adversarial interleavings.  Whatever
+arrives, three invariants must hold:
+
+1. the router never raises (no internal state corruption);
+2. backward-port bookkeeping stays consistent: the allocator, the
+   owner table and the per-connection records always agree;
+3. after the stimulus ends and the dust settles (silence long enough
+   for the watchdog), every resource is free again — garbage cannot
+   permanently claim network capacity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import words as W
+from repro.core.parameters import RouterConfig, RouterParameters
+from repro.core.random_source import RandomStream
+from repro.core.router import IDLE_STATE, MetroRouter
+from repro.sim.channel import Channel
+from repro.sim.engine import Engine
+
+WORD_CHOICES = st.one_of(
+    st.none(),
+    st.integers(min_value=0, max_value=255).map(W.data),
+    st.just(W.IDLE_WORD),
+    st.just(W.TURN_WORD),
+    st.just(W.DROP_WORD),
+)
+
+stimulus = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), WORD_CHOICES),
+    max_size=80,
+)
+
+
+def _build(seed, dp=1, fast_reclaim=False):
+    params = RouterParameters(i=4, o=4, w=8, max_d=2, dp=dp)
+    config = RouterConfig(params, dilation=2)
+    if fast_reclaim:
+        for port in range(4):
+            config.fast_reclaim[config.forward_port_id(port)] = True
+    router = MetroRouter(
+        params,
+        name="fuzz",
+        config=config,
+        random_stream=RandomStream(seed),
+        signal_timeout=16,
+    )
+    engine = Engine()
+    engine.add_component(router)
+    fwd_ends = []
+    for p in range(4):
+        channel = Channel(name="f{}".format(p))
+        engine.add_channel(channel)
+        router.attach_forward(p, channel.b)
+        fwd_ends.append(channel.a)
+    bwd_ends = []
+    for q in range(4):
+        channel = Channel(name="b{}".format(q))
+        engine.add_channel(channel)
+        router.attach_backward(q, channel.a)
+        bwd_ends.append(channel.b)
+    return engine, router, fwd_ends, bwd_ends
+
+
+def _bookkeeping_consistent(router):
+    owners = router._bwd_owner
+    for q, owner in enumerate(owners):
+        if owner is None:
+            assert not router.allocator.in_use(q)
+        else:
+            assert router.allocator.in_use(q)
+    # Active connections' claimed ports appear in the owner table.
+    for conn in router._conns:
+        if conn.bwd_port is not None:
+            assert owners[conn.bwd_port] is conn
+
+
+@given(st.integers(min_value=0, max_value=2**31), stimulus)
+@settings(max_examples=60, deadline=None)
+def test_forward_fuzz_invariants(seed, events):
+    engine, router, fwd_ends, _bwd = _build(seed)
+    for port, word in events:
+        if word is not None:
+            fwd_ends[port].send(word)
+        engine.step()
+        _bookkeeping_consistent(router)
+    # Silence until every watchdog has fired, plus drain time.
+    engine.run(40)
+    _bookkeeping_consistent(router)
+    assert router.busy_backward_ports() == []
+    assert all(
+        router.connection_state(p) == IDLE_STATE for p in range(4)
+    )
+
+
+@given(st.integers(min_value=0, max_value=2**31), stimulus)
+@settings(max_examples=40, deadline=None)
+def test_forward_fuzz_with_fast_reclaim(seed, events):
+    engine, router, fwd_ends, _bwd = _build(seed, fast_reclaim=True)
+    for port, word in events:
+        if word is not None:
+            fwd_ends[port].send(word)
+        engine.step()
+        _bookkeeping_consistent(router)
+    engine.run(40)
+    assert router.busy_backward_ports() == []
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    stimulus,
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), WORD_CHOICES),
+        max_size=40,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_bidirectional_fuzz(seed, forward_events, backward_events):
+    """Garbage on both sides at once (e.g. two faulty neighbours)."""
+    engine, router, fwd_ends, bwd_ends = _build(seed, dp=2)
+    length = max(len(forward_events), len(backward_events))
+    for index in range(length):
+        if index < len(forward_events):
+            port, word = forward_events[index]
+            if word is not None:
+                fwd_ends[port].send(word)
+        if index < len(backward_events):
+            port, word = backward_events[index]
+            if word is not None:
+                bwd_ends[port].send(word)
+        engine.step()
+        _bookkeeping_consistent(router)
+    engine.run(60)
+    _bookkeeping_consistent(router)
+    assert router.busy_backward_ports() == []

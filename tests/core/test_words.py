@@ -1,0 +1,74 @@
+"""Word encoding and checksum behaviour."""
+
+import pytest
+
+from repro.core import words as W
+
+
+def test_data_word():
+    word = W.data(0xA)
+    assert word.kind == W.DATA
+    assert word.value == 0xA
+    assert not word.is_control()
+
+
+def test_control_singletons():
+    assert W.IDLE_WORD.kind == W.IDLE
+    assert W.TURN_WORD.kind == W.TURN
+    assert W.DROP_WORD.kind == W.DROP
+    assert W.IDLE_WORD.is_control()
+    assert W.TURN_WORD.is_control()
+
+
+def test_word_equality_and_hash():
+    assert W.data(3) == W.data(3)
+    assert W.data(3) != W.data(4)
+    assert W.data(3) != W.IDLE_WORD
+    assert len({W.data(3), W.data(3), W.data(4)}) == 2
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        W.Word("bogus")
+
+
+def test_status_word_payload():
+    word = W.status(True, 0x5A, 12, "r0.0.0")
+    assert word.kind == W.STATUS
+    assert word.value.blocked is True
+    assert word.value.checksum == 0x5A
+    assert word.value.words_forwarded == 12
+    assert word.value.router_name == "r0.0.0"
+
+
+def test_checksum_deterministic_and_order_sensitive():
+    assert W.checksum_of([1, 2, 3]) == W.checksum_of([1, 2, 3])
+    assert W.checksum_of([1, 2, 3]) != W.checksum_of([3, 2, 1])
+
+
+def test_checksum_detects_single_bit_flip():
+    base = W.checksum_of([0xA, 0xB, 0xC, 0xD])
+    for position in range(4):
+        for bit in range(4):
+            flipped = [0xA, 0xB, 0xC, 0xD]
+            flipped[position] ^= 1 << bit
+            assert W.checksum_of(flipped) != base
+
+
+def test_checksum_empty_is_zero():
+    assert W.checksum_of([]) == 0
+
+
+def test_checksum_handles_multibyte_values():
+    wide = W.checksum_of([0x1234, 0xABCD])
+    assert 0 <= wide < 256
+    assert wide != W.checksum_of([0x34, 0xCD])  # upper bytes matter
+
+
+def test_checksum_incremental_matches_batch():
+    crc = W.Checksum()
+    for value in [7, 0, 255, 19]:
+        crc.update(value)
+    assert crc.value == W.checksum_of([7, 0, 255, 19])
+    crc.reset()
+    assert crc.value == 0

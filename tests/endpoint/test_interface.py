@@ -1,0 +1,201 @@
+"""Endpoint (network interface) behaviour in isolation.
+
+Uses a minimal one-router network (4 endpoints, radix-4 dilation-1)
+so every send crosses exactly one METRO router — small enough to
+reason about every cycle, real enough to exercise the full protocol.
+"""
+
+import pytest
+
+from repro.core.parameters import RouterParameters
+from repro.endpoint.messages import (
+    ABANDONED,
+    BLOCKED,
+    DELIVERED,
+    Message,
+    NACKED,
+    TIMEOUT,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.model import CorruptLink, DeadLink
+from repro.network.builder import build_network
+from repro.network.topology import NetworkPlan, StageSpec
+
+
+def tiny_network(seed=0, **kwargs):
+    params = RouterParameters(i=4, o=4, w=4, max_d=2)
+    plan = NetworkPlan(4, 1, 1, [StageSpec(params, 1)])
+    return build_network(plan, seed=seed, **kwargs)
+
+
+class TestBasicSend:
+    def test_single_hop_delivery(self):
+        network = tiny_network()
+        message = network.send(0, Message(dest=2, payload=[1, 2, 3]))
+        assert network.run_until_quiet(max_cycles=2000)
+        assert message.outcome == DELIVERED
+        assert message.attempts == 1
+
+    def test_message_bookkeeping(self):
+        network = tiny_network()
+        message = network.send(1, Message(dest=3, payload=[5]))
+        network.run_until_quiet(max_cycles=2000)
+        assert message.source == 1
+        assert message.queued_cycle is not None
+        assert message.start_cycle >= message.queued_cycle
+        assert message.done_cycle > message.start_cycle
+        assert message.latency == message.done_cycle - message.start_cycle
+        assert message.total_latency >= message.latency
+
+    def test_queue_drains_in_order(self):
+        network = tiny_network()
+        first = network.send(0, Message(dest=1, payload=[1]))
+        second = network.send(0, Message(dest=2, payload=[2]))
+        assert network.run_until_quiet(max_cycles=5000)
+        assert first.outcome == second.outcome == DELIVERED
+        assert first.done_cycle < second.done_cycle  # FIFO per endpoint
+
+    def test_reply_payload_default_empty(self):
+        network = tiny_network()
+        message = network.send(0, Message(dest=1, payload=[7]))
+        network.run_until_quiet(max_cycles=2000)
+        assert message.reply_payload == []
+
+
+class TestReplyHandler:
+    def test_custom_reply_with_delay(self):
+        network = tiny_network()
+        network.endpoints[2].reply_handler = lambda payload, ok: ([0xA, 0xB], 10)
+        fast = network.send(0, Message(dest=1, payload=[1]))
+        network.run_until_quiet(max_cycles=2000)
+        slow = network.send(0, Message(dest=2, payload=[1]))
+        network.run_until_quiet(max_cycles=2000)
+        assert slow.reply_payload[:-1] == [0xA, 0xB]
+        # The 10-cycle handler delay (DATA-IDLE on the wire) shows up.
+        assert slow.latency > fast.latency + 5
+
+    def test_reply_checksum_appended(self):
+        from repro.core.words import checksum_of
+
+        network = tiny_network()
+        network.endpoints[3].reply_handler = lambda payload, ok: ([1, 2, 3], 0)
+        message = network.send(0, Message(dest=3, payload=[9]))
+        network.run_until_quiet(max_cycles=2000)
+        assert message.reply_payload == [1, 2, 3, checksum_of([1, 2, 3])]
+
+
+class TestRetry:
+    def test_timeout_then_retry_on_dead_network(self):
+        network = tiny_network(
+            endpoint_kwargs={"reply_timeout": 50, "max_attempts": 3}
+        )
+        src_key = next(k for k in network.channels if k[0][0] == "endpoint" and k[0][3] == 0)
+        FaultInjector(network).now(DeadLink(src_key=src_key[0], dst_key=src_key[1]))
+        message = network.send(0, Message(dest=2, payload=[1]))
+        assert network.run_until_quiet(max_cycles=20000)
+        assert message.outcome == ABANDONED
+        assert message.attempts == 3
+        assert message.failure_causes == [TIMEOUT] * 3
+
+    def test_nack_then_abandon(self):
+        network = tiny_network(
+            endpoint_kwargs={"max_attempts": 2}
+        )
+        # Corrupt the only wire out of endpoint 0 (payload damaged).
+        key = next(k for k in network.channels if k[0][0] == "endpoint" and k[0][3] == 0)
+        FaultInjector(network).now(
+            CorruptLink(src_key=key[0], dst_key=key[1], probability=1.0, mask=0x3)
+        )
+        message = network.send(0, Message(dest=2, payload=[1, 2]))
+        assert network.run_until_quiet(max_cycles=20000)
+        assert message.outcome == ABANDONED
+        assert NACKED in message.failure_causes
+
+    def test_unlimited_attempts_by_default(self):
+        network = tiny_network()
+        assert network.endpoints[0].max_attempts is None
+
+    def test_backoff_delays_retry(self):
+        network = tiny_network(
+            endpoint_kwargs={
+                "reply_timeout": 40,
+                "max_attempts": 2,
+                "backoff": (20, 20),
+            }
+        )
+        key = next(k for k in network.channels if k[0][0] == "endpoint" and k[0][3] == 1)
+        FaultInjector(network).now(DeadLink(src_key=key[0], dst_key=key[1]))
+        message = network.send(1, Message(dest=3, payload=[1]))
+        assert network.run_until_quiet(max_cycles=20000)
+        # Two attempts, each ~ (stream + 40 timeout), plus one 20-cycle
+        # backoff between them.
+        assert message.outcome == ABANDONED
+        duration = message.done_cycle - message.start_cycle
+        assert duration >= 2 * 40 + 20
+
+
+class TestBlockedRetry:
+    def test_contention_on_single_output(self):
+        """Dilation-1 router: two senders to one destination collide;
+        the loser's retry succeeds after the winner closes."""
+        network = tiny_network()
+        a = network.send(0, Message(dest=3, payload=[1] * 10))
+        b = network.send(1, Message(dest=3, payload=[2] * 10))
+        assert network.run_until_quiet(max_cycles=20000)
+        assert a.outcome == DELIVERED and b.outcome == DELIVERED
+        blocked_total = (a.failure_causes + b.failure_causes).count(BLOCKED)
+        assert blocked_total >= 1
+        stages = a.blocked_stages + b.blocked_stages
+        assert all(stage == 1 for stage in stages)  # one-stage network
+
+
+class TestOutstandingLimits:
+    def test_single_outstanding_default(self):
+        network = tiny_network()
+        endpoint = network.endpoints[0]
+        assert endpoint.max_outstanding == 1
+        network.send(0, Message(dest=1, payload=[1]))
+        network.send(0, Message(dest=2, payload=[2]))
+        network.run(3)
+        # Only one in flight despite two queued.
+        assert len(endpoint._sends) == 1
+
+    def test_dual_port_concurrent_sends(self):
+        params = RouterParameters(i=4, o=4, w=4, max_d=2)
+        plan = NetworkPlan(
+            16, 2, 2,
+            [StageSpec(params, 2), StageSpec(params, 2), StageSpec(params, 1)],
+        )
+        network = build_network(
+            plan, seed=3, endpoint_kwargs={"max_outstanding": 2}
+        )
+        endpoint = network.endpoints[0]
+        network.send(0, Message(dest=5, payload=[1] * 20))
+        network.send(0, Message(dest=9, payload=[2] * 20))
+        network.run(6)
+        assert len(endpoint._sends) == 2  # both ports streaming at once
+        assert network.run_until_quiet(max_cycles=20000)
+        assert len(network.log.delivered()) == 2
+
+
+class TestIdleAndStats:
+    def test_idle_reflects_queue_and_flight(self):
+        network = tiny_network()
+        endpoint = network.endpoints[0]
+        assert endpoint.idle()
+        network.send(0, Message(dest=1, payload=[1]))
+        assert not endpoint.idle()
+        network.run_until_quiet(max_cycles=2000)
+        assert endpoint.idle()
+
+    def test_log_aggregates(self):
+        network = tiny_network()
+        for dest in (1, 2, 3):
+            network.send(0, Message(dest=dest, payload=[dest]))
+        network.run_until_quiet(max_cycles=10000)
+        log = network.log
+        assert len(log) == 3
+        assert len(log.delivered()) == 3
+        assert log.mean_latency() > 0
+        assert log.mean_attempts() >= 1.0
+        assert log.receiver_deliveries == 3

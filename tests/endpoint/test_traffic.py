@@ -1,0 +1,167 @@
+"""Workload generators."""
+
+import pytest
+
+from repro.endpoint.traffic import (
+    HotspotTraffic,
+    PermutationTraffic,
+    TraceTraffic,
+    UniformRandomTraffic,
+    bit_reverse,
+    random_payload,
+)
+
+
+def _drain(source, cycles):
+    messages = []
+    for cycle in range(cycles):
+        message = source(cycle)
+        if message is not None:
+            messages.append(message)
+    return messages
+
+
+class TestUniformRandom:
+    def test_rate_controls_volume(self):
+        low = UniformRandomTraffic(16, 4, rate=0.01, seed=1)
+        high = UniformRandomTraffic(16, 4, rate=0.3, seed=1)
+        n_low = len(_drain(low.source_for(0), 5000))
+        n_high = len(_drain(high.source_for(0), 5000))
+        assert n_low < n_high
+        assert 20 < n_low < 90  # ~50 expected
+        assert 1300 < n_high < 1700  # ~1500 expected
+
+    def test_destinations_cover_network(self):
+        traffic = UniformRandomTraffic(16, 4, rate=0.5, seed=2)
+        messages = _drain(traffic.source_for(3), 2000)
+        dests = {m.dest for m in messages}
+        assert dests == set(range(16)) - {3}
+
+    def test_self_excluded_by_default(self):
+        traffic = UniformRandomTraffic(8, 4, rate=1.0, seed=3)
+        messages = _drain(traffic.source_for(5), 200)
+        assert all(m.dest != 5 for m in messages)
+
+    def test_self_allowed_when_requested(self):
+        traffic = UniformRandomTraffic(8, 4, rate=1.0, seed=3, exclude_self=False)
+        messages = _drain(traffic.source_for(5), 500)
+        assert any(m.dest == 5 for m in messages)
+
+    def test_payload_shape(self):
+        traffic = UniformRandomTraffic(8, 4, rate=1.0, message_words=20, seed=4)
+        message = traffic.source_for(0)(0)
+        assert len(message.payload) == 20
+        assert all(0 <= v < 16 for v in message.payload)
+
+    def test_counts_generated(self):
+        traffic = UniformRandomTraffic(8, 4, rate=1.0, seed=5)
+        _drain(traffic.source_for(0), 10)
+        _drain(traffic.source_for(1), 10)
+        assert traffic.generated == 20
+
+    def test_reproducible_per_seed(self):
+        a = UniformRandomTraffic(16, 8, rate=0.2, seed=9)
+        b = UniformRandomTraffic(16, 8, rate=0.2, seed=9)
+        dests_a = [m.dest for m in _drain(a.source_for(2), 500)]
+        dests_b = [m.dest for m in _drain(b.source_for(2), 500)]
+        assert dests_a == dests_b
+
+
+class TestHotspot:
+    def test_hotspot_receives_disproportionate_traffic(self):
+        traffic = HotspotTraffic(16, 4, rate=1.0, hotspot=0, fraction=0.5, seed=6)
+        messages = _drain(traffic.source_for(7), 1000)
+        hot = sum(1 for m in messages if m.dest == 0)
+        assert hot / len(messages) > 0.4  # ~0.53 expected
+
+
+class TestPermutation:
+    def test_bit_reverse_helper(self):
+        assert bit_reverse(0b0001, 4) == 0b1000
+        assert bit_reverse(0b1011, 4) == 0b1101
+        assert bit_reverse(0, 4) == 0
+
+    def test_bit_reverse_mapping_is_permutation(self):
+        traffic = PermutationTraffic(16, 4, permutation="bit-reverse")
+        assert sorted(traffic.mapping) == list(range(16))
+
+    def test_shift_mapping(self):
+        traffic = PermutationTraffic(16, 4, permutation="shift")
+        assert traffic.mapping[0] == 8
+        assert traffic.mapping[9] == 1
+
+    def test_fixed_partner(self):
+        traffic = PermutationTraffic(16, 4, rate=1.0, permutation="shift", seed=7)
+        messages = _drain(traffic.source_for(2), 100)
+        assert all(m.dest == 10 for m in messages)
+
+    def test_explicit_permutation_validated(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic(4, 4, permutation=[0, 0, 1, 2])
+
+    def test_fixed_point_generates_nothing(self):
+        traffic = PermutationTraffic(4, 4, rate=1.0, permutation=[0, 2, 1, 3])
+        assert _drain(traffic.source_for(0), 50) == []
+
+
+class TestTrace:
+    def test_events_fire_at_their_cycles(self):
+        traffic = TraceTraffic(8, 4, events=[(5, 1, 3), (10, 1, 4), (2, 0, 7)])
+        source1 = traffic.source_for(1)
+        assert source1(0) is None
+        assert source1(4) is None
+        first = source1(5)
+        assert first.dest == 3
+        assert source1(6) is None
+        second = source1(12)  # late poll still drains the queue
+        assert second.dest == 4
+
+    def test_other_endpoints_unaffected(self):
+        traffic = TraceTraffic(8, 4, events=[(0, 2, 6)])
+        assert _drain(traffic.source_for(3), 10) == []
+
+
+def test_random_payload_respects_width():
+    import random
+
+    values = random_payload(random.Random(0), 100, 4)
+    assert len(values) == 100
+    assert all(0 <= v < 16 for v in values)
+
+
+class TestAdversarial:
+    def test_tornado_mapping(self):
+        from repro.endpoint.traffic import AdversarialTraffic, tornado
+
+        assert tornado(0, 16) == 7
+        assert tornado(10, 16) == 1
+        traffic = AdversarialTraffic(16, 4, pattern="tornado")
+        assert sorted(traffic.mapping) == list(range(16))
+
+    def test_complement_mapping(self):
+        from repro.endpoint.traffic import AdversarialTraffic, bit_complement
+
+        assert bit_complement(0b0101, 4) == 0b1010
+        traffic = AdversarialTraffic(16, 4, pattern="complement")
+        assert traffic.mapping[0] == 15
+        assert sorted(traffic.mapping) == list(range(16))
+
+    def test_neighbor_mapping(self):
+        from repro.endpoint.traffic import AdversarialTraffic
+
+        traffic = AdversarialTraffic(8, 4, pattern="neighbor")
+        assert traffic.mapping == [1, 2, 3, 4, 5, 6, 7, 0]
+
+    def test_unknown_pattern_rejected(self):
+        from repro.endpoint.traffic import AdversarialTraffic
+
+        with pytest.raises(ValueError):
+            AdversarialTraffic(8, 4, pattern="bogus")
+
+    def test_generates_to_fixed_partner(self):
+        from repro.endpoint.traffic import AdversarialTraffic
+
+        traffic = AdversarialTraffic(16, 4, rate=1.0, pattern="tornado", seed=3)
+        messages = _drain(traffic.source_for(4), 50)
+        assert messages
+        assert all(m.dest == traffic.mapping[4] for m in messages)

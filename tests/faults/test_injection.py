@@ -1,0 +1,236 @@
+"""Fault injection and the network's recovery behaviour.
+
+These tests exercise the paper's core fault-tolerance claim: the
+combination of source-responsible retry and random output selection
+"guarantees that the source can eventually find an uncongested,
+fault-free path through the network, provided one exists" (Section 4).
+"""
+
+import pytest
+
+from repro.endpoint.messages import DELIVERED, DIED, Message, NACKED, TIMEOUT
+from repro.faults.injector import (
+    FaultInjector,
+    random_fault_scenario,
+    router_to_router_channels,
+)
+from repro.faults.model import CorruptLink, DeadLink, DeadRouter, DisabledPort
+from repro.network.builder import build_network
+from repro.network.topology import figure1_plan
+
+
+def _network(seed=1, **kwargs):
+    return build_network(figure1_plan(), seed=seed, **kwargs)
+
+
+class TestDeadLink:
+    def test_static_dead_link_routed_around(self):
+        network = _network(seed=2)
+        injector = FaultInjector(network)
+        src_key, dst_key = router_to_router_channels(network)[0]
+        injector.now(DeadLink(src_key=src_key, dst_key=dst_key))
+        for src in range(16):
+            message = network.send(src, Message(dest=(src + 5) % 16, payload=[1]))
+            assert network.run_until_quiet(max_cycles=30000)
+            assert message.outcome == DELIVERED, (src, message.failure_causes)
+
+    def test_dynamic_link_death_mid_message(self):
+        """Kill a link while a long message is streaming over it; the
+        source detects the dead connection and retries successfully."""
+        network = _network(seed=3)
+        injector = FaultInjector(network)
+        # A long message guarantees the stream is still in flight when
+        # the fault lands at cycle 8.
+        message = network.send(4, Message(dest=11, payload=[7] * 120))
+        network.run(6)
+        # Find a channel the connection currently occupies.
+        victim = None
+        for (src_key, dst_key), channel in network.channels.items():
+            if src_key[0] == "router" and channel.in_flight() > 0:
+                victim = channel
+                break
+        assert victim is not None
+        victim.dead = True
+        assert network.run_until_quiet(max_cycles=60000)
+        assert message.outcome == DELIVERED
+        assert message.attempts >= 2
+        assert any(c in (TIMEOUT, DIED) for c in message.failure_causes)
+
+    def test_revert_restores_link(self):
+        network = _network(seed=4)
+        injector = FaultInjector(network)
+        src_key, dst_key = router_to_router_channels(network)[3]
+        fault = injector.now(DeadLink(src_key=src_key, dst_key=dst_key))
+        assert network.channels[(src_key, dst_key)].dead
+        fault.revert(network)
+        assert not network.channels[(src_key, dst_key)].dead
+
+
+class TestDeadRouter:
+    def test_dead_router_traffic_survives(self):
+        network = _network(seed=5)
+        injector = FaultInjector(network)
+        injector.now(DeadRouter(1, 0, 2))
+        messages = [
+            network.send(src, Message(dest=(src + 3) % 16, payload=[src]))
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=120000)
+        for message in messages:
+            assert message.outcome == DELIVERED
+
+    def test_dynamic_router_death(self):
+        network = _network(seed=6)
+        injector = FaultInjector(network)
+        injector.at(5, DeadRouter(0, 0, 1))
+        messages = [
+            network.send(src, Message(dest=(src + 9) % 16, payload=[src, src]))
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=120000)
+        for message in messages:
+            assert message.outcome == DELIVERED
+
+    def test_resources_not_wedged_after_router_death(self):
+        """Neighbours' watchdogs must free everything the dead router
+        was touching — the stateless-network property under faults."""
+        network = _network(seed=7)
+        message = network.send(2, Message(dest=13, payload=[1] * 60))
+        network.run(8)
+        injector = FaultInjector(network)
+        injector.now(DeadRouter(0, 0, 0))
+        assert network.run_until_quiet(max_cycles=60000)
+        for (stage, block, index), router in network.router_grid.items():
+            if router.dead:
+                continue
+            assert router.busy_backward_ports() == [], router.name
+        assert message.outcome == DELIVERED
+
+
+class TestCorruptLink:
+    def test_corruption_detected_and_retried(self):
+        """Corrupt every stage-0 output wire: each message crosses
+        exactly one noisy hop, so its payload is certainly damaged.
+
+        (Corrupting *every* wire with one XOR mask would self-cancel
+        over even hop counts — flip twice and the word is whole again —
+        so the noisy region is chosen with odd crossing parity.)
+        """
+        network = _network(seed=8)
+        injector = FaultInjector(network)
+        for src_key, dst_key in router_to_router_channels(network):
+            if src_key[1] == 0:  # wires leaving stage 0
+                injector.now(
+                    CorruptLink(
+                        src_key=src_key, dst_key=dst_key, probability=1.0, mask=0xF
+                    )
+                )
+        messages = [
+            network.send(src, Message(dest=(src + 1) % 16, payload=[3, 1, 4]))
+            for src in range(16)
+        ]
+        network.run(4000)
+        assert network.log.attempt_failures.get(NACKED, 0) >= 1
+
+    def test_intermittent_corruption(self):
+        network = _network(seed=9)
+        injector = FaultInjector(network)
+        for src_key, dst_key in router_to_router_channels(network)[:4]:
+            injector.now(
+                CorruptLink(
+                    src_key=src_key, dst_key=dst_key, probability=0.3, seed=42
+                )
+            )
+        messages = [
+            network.send(src, Message(dest=(src + 7) % 16, payload=list(range(8))))
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=120000)
+        assert all(m.outcome == DELIVERED for m in messages)
+
+    def test_receiver_counts_checksum_failures(self):
+        network = _network(seed=10)
+        injector = FaultInjector(network)
+        for src_key, dst_key in router_to_router_channels(network):
+            if src_key[1] == 0:  # odd crossing parity: stage 0 only
+                injector.now(
+                    CorruptLink(src_key=src_key, dst_key=dst_key, probability=1.0)
+                )
+        network.send(0, Message(dest=9, payload=[5, 5]))
+        network.run(2000)
+        assert network.log.receiver_checksum_failures >= 1
+
+
+class TestScheduling:
+    def test_faults_fire_at_scheduled_cycle(self):
+        network = _network(seed=11)
+        injector = FaultInjector(network)
+        fault = injector.at(10, DeadRouter(2, 0, 0))
+        network.run(5)
+        assert not network.router_grid[(2, 0, 0)].dead
+        assert injector.pending()
+        network.run(10)
+        assert network.router_grid[(2, 0, 0)].dead
+        assert not injector.pending()
+        assert injector.applied[0][1] is fault
+
+    def test_transient_fault_reverts(self):
+        network = _network(seed=12)
+        injector = FaultInjector(network)
+        fault = DeadRouter(1, 1, 0)
+        injector.at(5, fault)
+        injector.revert_at(20, fault)
+        network.run(30)
+        assert not network.router_grid[(1, 1, 0)].dead
+
+
+class TestDisabledPort:
+    def test_disabled_port_masks_then_restores(self):
+        network = _network(seed=13)
+        router = network.router_grid[(0, 0, 0)]
+        fault = DisabledPort(0, 0, 0, router.config.backward_port_id(1))
+        fault.apply(network)
+        assert not router.config.port_enabled[router.config.backward_port_id(1)]
+        fault.revert(network)
+        assert router.config.port_enabled[router.config.backward_port_id(1)]
+
+
+class TestRandomScenario:
+    def test_reproducible(self):
+        network = _network(seed=14)
+        a = random_fault_scenario(network, n_dead_links=3, n_dead_routers=2, seed=5)
+        b = random_fault_scenario(network, n_dead_links=3, n_dead_routers=2, seed=5)
+        assert [f.describe() for f in a] == [f.describe() for f in b]
+
+    def test_counts(self):
+        network = _network(seed=15)
+        faults = random_fault_scenario(
+            network, n_dead_links=4, n_dead_routers=3, seed=6
+        )
+        kinds = [f.kind for f in faults]
+        assert kinds.count("link-dead") == 4
+        assert kinds.count("router-dead") == 3
+
+    def test_exclude_final_stage(self):
+        network = _network(seed=16)
+        faults = random_fault_scenario(
+            network, n_dead_routers=10, seed=7, exclude_final_stage=True
+        )
+        last = network.plan.n_stages - 1
+        assert all(f.stage != last for f in faults)
+
+    def test_scenario_network_still_delivers(self):
+        network = _network(seed=17)
+        injector = FaultInjector(network)
+        for fault in random_fault_scenario(
+            network, n_dead_links=4, n_dead_routers=1, seed=8,
+            exclude_final_stage=True,
+        ):
+            injector.now(fault)
+        messages = [
+            network.send(src, Message(dest=(src + 11) % 16, payload=[1, 2]))
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=200000)
+        delivered = sum(1 for m in messages if m.outcome == DELIVERED)
+        assert delivered == 16

@@ -1,0 +1,82 @@
+"""Batch experiment grids."""
+
+import csv
+import io
+
+from repro.harness.batch import ExperimentGrid
+from repro.network.builder import build_network
+from repro.network.topology import figure1_plan
+
+
+def _factories():
+    return {
+        "fast": lambda seed: build_network(
+            figure1_plan(), seed=seed, fast_reclaim=True
+        ),
+        "detailed": lambda seed: build_network(
+            figure1_plan(), seed=seed, fast_reclaim=False
+        ),
+    }
+
+
+def _grid(**kwargs):
+    defaults = dict(
+        factories=_factories(),
+        rates=(0.01, 0.05),
+        seeds=(1, 2),
+        message_words=6,
+        warmup_cycles=200,
+        measure_cycles=800,
+    )
+    defaults.update(kwargs)
+    return ExperimentGrid(**defaults)
+
+
+def test_grid_runs_full_cross_product():
+    grid = _grid()
+    cells = grid.run()
+    assert len(cells) == 2 * 2  # variants x rates
+    assert all(len(cell.results) == 2 for cell in cells)  # seeds
+
+
+def test_progress_callback_sees_every_run():
+    seen = []
+    grid = _grid()
+    grid.run(progress=lambda name, rate, seed, result: seen.append((name, rate, seed)))
+    assert len(seen) == 2 * 2 * 2
+
+
+def test_cell_aggregation():
+    grid = _grid(seeds=(1, 2, 3))
+    cells = grid.run()
+    cell = cells[0]
+    assert cell.mean("mean_latency") > 0
+    assert cell.spread("mean_latency") >= 0
+
+
+def test_csv_shape():
+    grid = _grid()
+    grid.run()
+    text = grid.to_csv()
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0][:3] == ["variant", "rate", "seeds"]
+    assert len(rows) == 1 + 4
+    assert all(row[2] == "2" for row in rows[1:])
+
+
+def test_raw_csv_one_row_per_run(tmp_path):
+    grid = _grid()
+    grid.run()
+    path = tmp_path / "raw.csv"
+    grid.raw_csv(str(path))
+    rows = list(csv.reader(open(str(path))))
+    assert len(rows) == 1 + 8  # header + 2 variants x 2 rates x 2 seeds
+
+
+def test_csv_written_to_file(tmp_path):
+    grid = _grid(rates=(0.02,), seeds=(1,))
+    grid.run()
+    path = tmp_path / "agg.csv"
+    text = grid.to_csv(str(path))
+    on_disk = open(str(path), newline="").read()
+    assert on_disk == text

@@ -1,0 +1,56 @@
+"""Latency decomposition and the short-haul condition."""
+
+import pytest
+
+from repro.harness.breakdown import measure_breakdown
+from repro.harness.load_sweep import figure3_network
+from repro.network.builder import build_network
+from repro.network.topology import figure1_plan
+
+
+def test_phases_sum_to_total():
+    breakdown = measure_breakdown(figure3_network, message_words=20, samples=6, seed=1)
+    reconstructed = (
+        breakdown.serialization + breakdown.transit + breakdown.reply
+    )
+    assert reconstructed == pytest.approx(breakdown.total, abs=0.01)
+
+
+def test_twenty_byte_message_is_injection_dominated():
+    """The short-haul premise (Section 2) holds on the Figure 3
+    network: 23 serialization cycles vs ~7 transit cycles."""
+    breakdown = measure_breakdown(figure3_network, message_words=20, samples=6, seed=2)
+    assert breakdown.injection_dominates
+    assert breakdown.serialization >= 2 * breakdown.transit
+
+
+def test_tiny_message_is_transit_comparable():
+    breakdown = measure_breakdown(figure3_network, message_words=1, samples=6, seed=3)
+    # 4 stream words vs ~7 transit cycles: injection no longer dominates.
+    assert not breakdown.injection_dominates
+
+
+def test_transit_reflects_pipeline_depth():
+    def deep_factory(seed):
+        return build_network(figure1_plan(), seed=seed, link_delay=3)
+
+    def shallow_factory(seed):
+        return build_network(figure1_plan(), seed=seed, link_delay=1)
+
+    deep = measure_breakdown(deep_factory, message_words=8, samples=5, seed=4)
+    shallow = measure_breakdown(shallow_factory, message_words=8, samples=5, seed=4)
+    # 4 wires x 2 extra registers each = 8 extra transit cycles.
+    assert deep.transit - shallow.transit == pytest.approx(8, abs=1)
+    assert deep.serialization == shallow.serialization
+
+
+def test_breakdown_repr_and_dict():
+    breakdown = measure_breakdown(figure3_network, message_words=4, samples=3, seed=5)
+    data = breakdown.as_dict()
+    assert set(data) == {
+        "serialization_cycles",
+        "transit_cycles",
+        "reply_cycles",
+        "total_cycles",
+    }
+    assert "LatencyBreakdown" in repr(breakdown)

@@ -1,0 +1,59 @@
+"""Utilization probe: flat under uniform load, spiked under hotspot."""
+
+import pytest
+
+from repro.endpoint.traffic import HotspotTraffic, UniformRandomTraffic
+from repro.harness.utilization import attach_probe
+from repro.network.builder import build_network
+from repro.network.topology import figure1_plan
+
+
+def _loaded_network(traffic_class, seed=91, **traffic_kwargs):
+    network = build_network(figure1_plan(), seed=seed, fast_reclaim=True)
+    probe = attach_probe(network, period=2)
+    traffic = traffic_class(16, 4, message_words=8, seed=seed, **traffic_kwargs)
+    traffic.attach(network)
+    network.run(3000)
+    return network, probe
+
+
+def test_idle_network_zero_utilization():
+    network = build_network(figure1_plan(), seed=90)
+    probe = attach_probe(network)
+    network.run(100)
+    assert all(v == 0.0 for v in probe.router_utilization().values())
+    assert probe.samples > 0
+
+
+def test_uniform_load_is_balanced():
+    _network, probe = _loaded_network(UniformRandomTraffic, rate=0.05)
+    for stage in range(3):
+        assert probe.imbalance(stage) < 1.6
+    stages = probe.stage_utilization()
+    assert all(value > 0 for value in stages.values())
+
+
+def test_hotspot_shows_up_in_final_stage():
+    """Everyone hammering endpoint 0 must make the final-stage routers
+    serving endpoint 0 the hottest in their stage."""
+    _network, probe = _loaded_network(
+        HotspotTraffic, rate=0.08, hotspot=0, fraction=0.7
+    )
+    hottest = probe.hottest(4)
+    # Endpoint 0 lives in final-stage block 0; its two routers are
+    # (2, 0, 0) and (2, 0, 1).
+    hot_keys = {key for key, _value in hottest}
+    assert hot_keys & {(2, 0, 0), (2, 0, 1)}
+    assert probe.imbalance(2) > 1.5
+
+
+def test_period_controls_sampling():
+    network = build_network(figure1_plan(), seed=92)
+    probe = attach_probe(network, period=10)
+    network.run(100)
+    assert probe.samples == 10
+
+
+def test_stage_utilization_keys():
+    _network, probe = _loaded_network(UniformRandomTraffic, rate=0.02)
+    assert set(probe.stage_utilization()) == {0, 1, 2}

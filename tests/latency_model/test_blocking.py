@@ -1,0 +1,73 @@
+"""Lee's blocking approximation, analytically and against simulation."""
+
+import pytest
+
+from repro.latency_model import blocking as B
+
+
+class TestFormulas:
+    def test_zero_load_never_blocks(self):
+        assert B.path_blocking(0.0, [2, 2, 1]) == 0.0
+        assert B.expected_attempts(0.0, [2, 2, 1]) == 1.0
+
+    def test_full_load_always_blocks(self):
+        assert B.path_blocking(1.0, [2, 2, 1]) == 1.0
+        assert B.expected_attempts(1.0, [2, 2, 1]) == float("inf")
+
+    def test_dilation_reduces_blocking(self):
+        u = 0.4
+        assert B.stage_blocking(u, 2) < B.stage_blocking(u, 1)
+        assert B.path_blocking(u, [2, 2, 2]) < B.path_blocking(u, [1, 1, 1])
+
+    def test_stage_blocking_is_u_to_the_d(self):
+        assert B.stage_blocking(0.5, 2) == pytest.approx(0.25)
+        assert B.stage_blocking(0.3, 1) == pytest.approx(0.3)
+
+    def test_path_blocking_composes(self):
+        u = 0.5
+        # dilations [2, 1]: survive = (1 - .25)(1 - .5) = .375.
+        assert B.path_blocking(u, [2, 1]) == pytest.approx(0.625)
+
+    def test_monotone_in_utilization(self):
+        values = [B.path_blocking(u / 10, [2, 2, 1]) for u in range(11)]
+        assert values == sorted(values)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            B.stage_blocking(1.5, 2)
+        with pytest.raises(ValueError):
+            B.wire_utilization(0.5, 0)
+
+
+class TestAgainstSimulation:
+    """Lee's formula must track the simulator at light-to-moderate load."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        from repro.harness.load_sweep import figure3_network, run_load_point
+
+        return [
+            run_load_point(rate, seed=6, warmup_cycles=500, measure_cycles=2500)
+            for rate in (0.01, 0.04)
+        ]
+
+    def test_predicted_attempts_in_the_right_regime(self, measured):
+        from repro.network.topology import figure3_plan
+
+        plan = figure3_plan()
+        for result in measured:
+            _u, _p, predicted = B.predict_from_result(result, plan)
+            ratio = result.mean_attempts / predicted
+            # Within 2.5x at these loads: Lee's independence assumption
+            # is crude, but the scale and trend must be right.
+            assert 1 / 2.5 < ratio < 2.5, (result.label, predicted, result.mean_attempts)
+
+    def test_prediction_tracks_load_direction(self, measured):
+        from repro.network.topology import figure3_plan
+
+        plan = figure3_plan()
+        light, heavy = measured
+        _ul, p_light, _ = B.predict_from_result(light, plan)
+        _uh, p_heavy, _ = B.predict_from_result(heavy, plan)
+        assert p_heavy > p_light
+        assert heavy.mean_attempts > light.mean_attempts

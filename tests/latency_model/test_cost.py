@@ -1,0 +1,79 @@
+"""Pin-budget cost model: the cascading economics of Section 5.1."""
+
+import pytest
+
+from repro.latency_model import cost as C
+
+
+class TestPinCount:
+    def test_metrojr_class_part_is_small(self):
+        # 4+4 ports x (4+2) pins + 4 TAP + 1 random + 3 misc = 56.
+        assert C.pin_count(4, 4, 4) == 56
+
+    def test_wider_datapath_costs_port_pins(self):
+        narrow = C.pin_count(8, 8, 4)
+        wide = C.pin_count(8, 8, 16)
+        assert wide - narrow == 16 * 12
+
+    def test_multitap_costs_four_pins_each(self):
+        assert C.pin_count(4, 4, 4, sp=2) - C.pin_count(4, 4, 4, sp=1) == 4
+
+
+class TestBudgetedPorts:
+    def test_ports_shrink_with_width(self):
+        for pins in (100, 150, 220):
+            assert C.max_ports_for_budget(pins, 4) >= C.max_ports_for_budget(
+                pins, 8
+            ) >= C.max_ports_for_budget(pins, 16)
+
+    def test_power_of_two(self):
+        for pins in range(60, 300, 17):
+            ports = C.max_ports_for_budget(pins, 8)
+            assert ports == 0 or (ports & (ports - 1)) == 0
+
+    def test_known_point(self):
+        # 150 pins, w=8: (150-8)/10 = 14 total ports -> 7/side -> 4.
+        assert C.max_ports_for_budget(150, 8) == 4
+
+    def test_tiny_budget_unbuildable(self):
+        assert C.max_ports_for_budget(10, 8) == 0
+
+
+class TestStages:
+    def test_eight_port_parts_need_two_stages(self):
+        assert C.stages_for_32_nodes(8) == (4, 8)
+
+    def test_four_port_parts_need_four_stages(self):
+        assert C.stages_for_32_nodes(4) == (2, 2, 2, 4)
+
+    def test_two_port_parts_unbuildable_at_dilation_2(self):
+        assert C.stages_for_32_nodes(2) is None
+
+
+class TestDesignPoints:
+    def test_cascading_wins_at_fixed_pins(self):
+        """The paper's claim: at one pin budget, narrow-slice cascaded
+        parts deliver lower t_20,32 at equal-or-wider datapath than a
+        single wide chip."""
+        rows = C.cascade_tradeoff_table(pins=150)
+        by_config = {(r["w"], r["cascade_c"]): r for r in rows}
+        wide_chip = by_config[(8, 1)]
+        cascaded = by_config[(4, 2)]
+        assert cascaded["datapath_bits"] == wide_chip["datapath_bits"]
+        # Narrow slices afford more ports -> fewer stages.
+        assert cascaded["ports_per_side"] > wide_chip["ports_per_side"]
+        assert cascaded["stages"] < wide_chip["stages"]
+        assert cascaded["t_20_32_ns"] < wide_chip["t_20_32_ns"]
+
+    def test_budget_respected(self):
+        for pins in (120, 150, 200):
+            for row in C.cascade_tradeoff_table(pins=pins):
+                assert row["pins_used"] <= pins
+
+    def test_unbuildable_returns_none(self):
+        assert C.design_point(40, 16) is None
+
+    def test_w_log2_o_constraint_enforced(self):
+        # A giant budget at w=4 would afford 32 ports, but w=4 < log2(32).
+        point = C.design_point(1000, 4)
+        assert point is None or point["ports_per_side"] <= 16

@@ -1,0 +1,88 @@
+"""Table 4 equations, pinned to the quantities the paper states."""
+
+import pytest
+
+from repro.latency_model import equations as EQ
+
+
+class TestVtd:
+    def test_orbit_interconnect_is_one_cycle(self):
+        # t_io=10, t_wire=3, t_clk=25: ceil(13/25) = 1.
+        assert EQ.vtd(10, 3, 25) == 1
+
+    def test_fast_clock_needs_more_stages(self):
+        # t_io=3, t_wire=3, t_clk=2: ceil(6/2) = 3.
+        assert EQ.vtd(3, 3, 2) == 3
+
+    def test_exact_division(self):
+        assert EQ.vtd(5, 3, 4) == 2
+
+    def test_five_ns_full_custom(self):
+        assert EQ.vtd(3, 3, 5) == 2
+
+
+class TestStageLatency:
+    def test_orbit_t_stg_50ns(self):
+        # Section 6.1: "a 50 ns router-to-router latency".
+        assert EQ.t_stg(25, 10, dp=1) == 50
+
+    def test_std_cell_20ns(self):
+        assert EQ.t_stg(10, 5, dp=1) == 20
+
+    def test_full_custom_15ns(self):
+        assert EQ.t_stg(5, 3, dp=1) == 15
+
+    def test_dp2_at_2ns(self):
+        assert EQ.t_stg(2, 3, dp=2) == 10
+
+    def test_dp1_at_2ns(self):
+        assert EQ.t_stg(2, 3, dp=1) == 8
+
+
+class TestTBit:
+    def test_orbit_nibble(self):
+        # "25 ns nibble (4-bit) latency" -> 25/4 ns per bit.
+        assert EQ.t_bit(25, 4) == pytest.approx(6.25)
+
+    def test_cascade_doubles_rate(self):
+        assert EQ.t_bit(25, 4, c=2) == pytest.approx(3.125)
+
+
+class TestHbits:
+    def test_hw0_four_stage(self):
+        assert EQ.hbits(4, 0, EQ.RADICES_32_NODE_4_STAGE) == 8
+
+    def test_hw0_two_stage(self):
+        assert EQ.hbits(4, 0, EQ.RADICES_32_NODE_2_STAGE) == 8
+
+    def test_hw1(self):
+        assert EQ.hbits(4, 1, EQ.RADICES_32_NODE_4_STAGE) == 16
+
+    def test_hw2_cascade4_two_stage(self):
+        assert EQ.hbits(4, 2, EQ.RADICES_32_NODE_2_STAGE, c=4) == 64
+
+    def test_radix_products_cover_32_nodes(self):
+        import math
+        assert math.prod(EQ.RADICES_32_NODE_4_STAGE) == 32
+        assert math.prod(EQ.RADICES_32_NODE_2_STAGE) == 32
+
+
+class TestT2032:
+    def test_orbit(self):
+        assert EQ.t_20_32(25, 10) == pytest.approx(1250)
+
+    def test_message_bits_constant(self):
+        assert EQ.MESSAGE_BITS_20_BYTES == 160
+
+    def test_monotone_in_clock(self):
+        slow = EQ.t_20_32(25, 10)
+        fast = EQ.t_20_32(10, 5)
+        assert fast < slow
+
+    def test_cascading_helps_long_messages_most(self):
+        base = EQ.t_20_32(25, 10, c=1)
+        cascaded = EQ.t_20_32(25, 10, c=2)
+        # Stage latency is unchanged; only serialization halves (plus
+        # the header grows), so the gain is bounded by the bit time.
+        assert cascaded < base
+        assert base - cascaded == pytest.approx(500)

@@ -1,0 +1,104 @@
+"""Network builder: everything wired, configured, and consistent."""
+
+import pytest
+
+from repro.core.crossbar import FIRST_FREE
+from repro.network.builder import build_network
+from repro.network.topology import figure1_plan, figure3_plan
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(figure1_plan(), seed=77)
+
+
+class TestWiring:
+    def test_every_router_port_attached(self, network):
+        for router in network.all_routers():
+            assert all(end is not None for end in router.forward_ends)
+            assert all(end is not None for end in router.backward_ends)
+
+    def test_every_endpoint_port_attached(self, network):
+        for endpoint in network.endpoints:
+            assert len(endpoint.source_ends) == network.plan.endpoint_out_ports
+            assert len(endpoint.receive_ends) == network.plan.endpoint_in_ports
+
+    def test_channel_count(self, network):
+        assert len(network.channels) == 4 * 32
+        assert len(network.engine.channels) == 4 * 32
+
+    def test_component_count(self, network):
+        # 24 routers + 16 endpoints.
+        assert len(network.engine.components) == 24 + 16
+
+    def test_router_grid_complete(self, network):
+        plan = network.plan
+        expected = sum(plan.routers_in_stage(s) for s in range(plan.n_stages))
+        assert len(network.router_grid) == expected
+
+
+class TestConfiguration:
+    def test_dilations_follow_plan(self, network):
+        for (stage, _block, _index), router in network.router_grid.items():
+            assert router.config.dilation == network.plan.stages[stage].dilation
+
+    def test_swallow_flags_follow_codec(self, network):
+        flags = network.codec.swallow_flags()
+        for (stage, _block, _index), router in network.router_grid.items():
+            expected = [flags[stage]] * router.params.i
+            assert router.config.swallow == expected
+
+    def test_turn_delay_registers_match_wires(self, network):
+        """Table 2's per-port turn delay must equal each attached
+        wire's pipeline depth (clamped to max_vtd)."""
+        for (src_key, dst_key), channel in network.channels.items():
+            if dst_key[0] == "router":
+                _, stage, block, index, port = dst_key
+                router = network.router_grid[(stage, block, index)]
+                port_id = router.config.forward_port_id(port)
+                assert router.config.turn_delay[port_id] == min(
+                    channel.delay, router.params.max_vtd
+                )
+
+    def test_fast_reclaim_flag(self):
+        network = build_network(figure1_plan(), seed=1, fast_reclaim=True)
+        for router in network.all_routers():
+            for port in range(router.params.i):
+                assert router.config.fast_reclaim[
+                    router.config.forward_port_id(port)
+                ]
+
+    def test_selection_policy_forwarded(self):
+        network = build_network(figure1_plan(), seed=1, selection_policy=FIRST_FREE)
+        for router in network.all_routers():
+            assert router.allocator.policy == FIRST_FREE
+
+
+class TestCodecSharing:
+    def test_single_codec_shared(self, network):
+        for endpoint in network.endpoints:
+            assert endpoint.codec is network.codec
+
+    def test_mixed_w_rejected(self):
+        from repro.core.parameters import RouterParameters
+        from repro.network.topology import NetworkPlan, StageSpec
+
+        a = RouterParameters(i=4, o=4, w=4, max_d=2)
+        b = RouterParameters(i=4, o=4, w=8, max_d=2)
+        plan = NetworkPlan(
+            16, 2, 2, [StageSpec(a, 2), StageSpec(a, 2), StageSpec(b, 1)]
+        )
+        with pytest.raises(ValueError):
+            build_network(plan, seed=1)
+
+
+class TestReproducibility:
+    def test_same_seed_same_network(self):
+        a = build_network(figure3_plan(), seed=9)
+        b = build_network(figure3_plan(), seed=9)
+        assert set(a.channels) == set(b.channels)
+
+    def test_different_seed_different_wiring(self):
+        a = build_network(figure3_plan(), seed=9)
+        b = build_network(figure3_plan(), seed=10)
+        assert set(a.channels) != set(b.channels)

@@ -1,0 +1,133 @@
+"""Network-scale width cascading: lockstep slices, wide datapaths."""
+
+import pytest
+
+from repro.endpoint.messages import DELIVERED
+from repro.network.cascaded import CascadedNetwork
+from repro.network.topology import figure1_plan
+
+
+def _cascaded(c=2, seed=5, **kwargs):
+    return CascadedNetwork(figure1_plan(), c=c, seed=seed, **kwargs)
+
+
+class TestWideDelivery:
+    def test_wide_message_delivers_and_rejoins(self):
+        network = _cascaded(c=2)  # w=4 slices -> 8-bit wide words
+        wide = network.send_wide(3, 12, [0xA7, 0x3C, 0xFF])
+        assert network.run_until_quiet(max_cycles=20000)
+        assert wide.outcome == DELIVERED
+        assert wide.slices_in_lockstep()
+        assert network.consistent()
+
+    def test_four_wide(self):
+        network = _cascaded(c=4)  # 16-bit wide words
+        wide = network.send_wide(0, 9, [0xBEEF, 0x1234])
+        assert network.run_until_quiet(max_cycles=20000)
+        assert wide.outcome == DELIVERED
+        assert wide.latency is not None
+        assert network.inuse_mismatches == 0
+
+    def test_wide_word_range_checked(self):
+        network = _cascaded(c=2)
+        with pytest.raises(ValueError):
+            network.send_wide(0, 1, [0x100])  # 9 bits > 8
+
+    def test_wide_reply_rejoined(self):
+        network = _cascaded(c=2)
+        # Install a reply handler echoing the (slice) payload back.
+        for slice_network in network.slices:
+            slice_network.endpoints[7].reply_handler = (
+                lambda payload, ok: (list(payload), 0)
+            )
+        wide = network.send_wide(1, 7, [0x5A, 0xC3])
+        assert network.run_until_quiet(max_cycles=20000)
+        reply = wide.wide_reply(network.w)
+        # Echoed payload (the trailing word is the per-slice checksum,
+        # which differs by slice and is protocol overhead).
+        assert reply[:2] == [0x5A, 0xC3]
+
+
+class TestLockstep:
+    def test_contention_resolves_identically_across_slices(self):
+        network = _cascaded(c=2, seed=8)
+        wides = [
+            network.send_wide(src, (src + 7) % 16, [src, 2 * src % 256])
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=60000)
+        for wide in wides:
+            assert wide.outcome == DELIVERED
+            assert wide.slices_in_lockstep()
+        assert network.inuse_mismatches == 0
+
+    def test_cascade_speedup_for_long_messages(self):
+        """A 20-byte message is 40 words at w=4 but 20 at w=4 x2:
+        the cascaded delivery must be meaningfully faster (Table 3's
+        cascade-row scaling, measured behaviourally)."""
+        narrow = CascadedNetwork(figure1_plan(), c=1, seed=9)
+        wide_net = CascadedNetwork(figure1_plan(), c=2, seed=9)
+        # 20 bytes as wide words for each width.
+        narrow_msg = narrow.send_wide(2, 13, [0xA] * 40)      # 4-bit words
+        wide_msg = wide_net.send_wide(2, 13, [0xAA] * 20)     # 8-bit words
+        assert narrow.run_until_quiet(max_cycles=20000)
+        assert wide_net.run_until_quiet(max_cycles=20000)
+        assert narrow_msg.outcome == wide_msg.outcome == DELIVERED
+        saved = narrow_msg.latency - wide_msg.latency
+        assert saved >= 15  # ~20 serialization cycles saved
+
+
+class TestFaultContainment:
+    def test_slice_divergence_detected_and_killed(self):
+        """Force one slice's router to claim an output the other slice
+        did not (the effect of a corrupted header slice): the
+        cross-slice IN-USE check must fire and shut the connection down
+        on every slice."""
+        from repro.core.router import FORWARD_STATE, IDLE_STATE
+
+        network = _cascaded(c=2, seed=10)
+        key = (0, 0, 0)
+        rogue = network.slices[1].router_grid[key]
+        # Hand-open a connection on slice 1 only: forward port 0
+        # claims a direction-0 output, slice 0 claims nothing.
+        conn = rogue._conns[0]
+        port = rogue.allocator.allocate(0, decision_key=0)
+        conn.bwd_port = port
+        rogue._bwd_owner[port] = conn
+        conn.state = FORWARD_STATE
+        assert not network.consistent()
+
+        network.step()
+        assert network.inuse_mismatches == 1
+        network.run(3)
+        # Both slices end with the connection gone and ports free.
+        for slice_network in network.slices:
+            router = slice_network.router_grid[key]
+            assert router.busy_backward_ports() == []
+        assert network.consistent()
+
+
+class TestSliceFaultDivergence:
+    def test_dead_wire_in_one_slice_breaks_lockstep_but_delivers(self):
+        """A fault in a single slice is the cascade's worst case: the
+        slices stop being identical.  The wide message must still be
+        accounted for — the healthy slice delivers, the faulty slice
+        retries until it finds a path — and the divergence is visible
+        through slices_in_lockstep()."""
+        from repro.faults.injector import FaultInjector, router_to_router_channels
+        from repro.faults.model import DeadLink
+
+        network = _cascaded(c=2, seed=13)
+        victim = router_to_router_channels(network.slices[0])[4]
+        FaultInjector(network.slices[0]).now(
+            DeadLink(src_key=victim[0], dst_key=victim[1])
+        )
+        wides = [
+            network.send_wide(src, (src + 5) % 16, [src, src])
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=200000)
+        for wide in wides:
+            assert wide.outcome == DELIVERED
+        # At least one message hit the dead wire in slice 0 only.
+        assert any(not w.slices_in_lockstep() for w in wides)

@@ -1,0 +1,51 @@
+"""DOT export."""
+
+import random
+
+from repro.network.dot import network_to_dot
+from repro.network.multibutterfly import wire
+from repro.network.topology import figure1_plan
+
+
+def _dot(highlight=None):
+    plan = figure1_plan()
+    links = wire(plan, rng=random.Random(1))
+    return network_to_dot(plan, links, highlight_dest=highlight)
+
+
+def test_contains_all_nodes():
+    text = _dot()
+    for e in range(16):
+        assert '"src{}"'.format(e) in text
+        assert '"dst{}"'.format(e) in text
+    assert '"r0.0.0"' in text
+    assert '"r2.3.1"' in text
+
+
+def test_edge_count():
+    text = _dot()
+    assert text.count(" -> ") == 4 * 32
+
+
+def test_stage_clusters_labelled():
+    text = _dot()
+    assert "stage 0 (4x4 r=2 d=2)" in text
+    assert "stage 2 (4x4 r=4 d=1)" in text
+
+
+def test_highlighting_marks_legal_routes_only():
+    text = _dot(highlight=15)
+    bold = [line for line in text.splitlines() if "penwidth" in line]
+    # Routes to endpoint 15: 32 src edges + stage-0/1 direction edges +
+    # final edges; all are legal-route members, none is zero.
+    assert bold
+    # No edge into a different destination is highlighted.
+    assert not any('-> "dst3"' in line for line in bold)
+    assert any('-> "dst15"' in line for line in bold)
+
+
+def test_valid_dot_structure():
+    text = _dot()
+    assert text.startswith("digraph metro {")
+    assert text.rstrip().endswith("}")
+    assert text.count("{") == text.count("}")

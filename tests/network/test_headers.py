@@ -1,0 +1,170 @@
+"""Header encoding, hbits, swallow flags — the Table 4 hbits rule."""
+
+import pytest
+
+from repro.network.headers import HeaderCodec
+
+
+class TestDigits:
+    def test_uniform_radix(self):
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[4, 4, 4])
+        assert codec.digits(0) == [0, 0, 0]
+        assert codec.digits(63) == [3, 3, 3]
+        assert codec.digits(27) == [1, 2, 3]  # 27 = 1*16 + 2*4 + 3
+
+    def test_mixed_radix(self):
+        # The paper's 32-node example: three radix-2 stages then radix 4.
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[2, 2, 2, 4])
+        assert codec.destinations == 32
+        assert codec.digits(0) == [0, 0, 0, 0]
+        assert codec.digits(31) == [1, 1, 1, 3]
+        assert codec.digits(13) == [0, 1, 1, 1]  # 13 = 0*16 + 1*8 + 1*4 + 1
+
+    def test_out_of_range(self):
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[4])
+        with pytest.raises(ValueError):
+            codec.digits(4)
+        with pytest.raises(ValueError):
+            codec.digits(-1)
+
+    def test_digits_roundtrip_all_destinations(self):
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[2, 4, 2])
+        seen = set()
+        for dest in range(codec.destinations):
+            digits = codec.digits(dest)
+            value = 0
+            for digit, radix in zip(digits, codec.stage_radices):
+                value = value * radix + digit
+            assert value == dest
+            seen.add(tuple(digits))
+        assert len(seen) == codec.destinations
+
+
+class TestHbits:
+    def test_paper_32_node_hw0_w4(self):
+        # Table 3 row METROJR-ORBIT: hbits must be 8 for t_20,32 = 1250ns.
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[2, 2, 2, 4])
+        assert codec.hbits() == 8
+
+    def test_paper_32_node_hw0_w8(self):
+        # METROJR w=8 row: ceil(5/8)*8 = 8.
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[2, 2, 2, 4])
+        assert codec.hbits() == 8
+
+    def test_paper_2stage_radix_4_8(self):
+        # METRO i=o=8 w=4 rows: two stages, radices 4 and 8 -> 5 bits -> 8.
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[4, 8])
+        assert codec.hbits() == 8
+
+    def test_hw1_rule(self):
+        # Table 4: hw>0 -> hbits = hw*w*c*stages.
+        codec = HeaderCodec(w=4, hw=1, stage_radices=[2, 2, 2, 4])
+        assert codec.hbits() == 1 * 4 * 1 * 4
+
+    def test_hw2_with_cascade(self):
+        codec = HeaderCodec(w=4, hw=2, stage_radices=[4, 8], cascade_width=4)
+        assert codec.hbits() == 2 * 4 * 4 * 2
+
+    def test_cascade_multiplies_hw0_header(self):
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[2, 2, 2, 4], cascade_width=2)
+        assert codec.hbits() == 16
+
+    def test_header_length_matches_hbits_per_slice(self):
+        for radices in ([4, 4, 4], [2, 2, 2, 4], [4, 8], [2] * 9):
+            for w in (4, 8):
+                codec = HeaderCodec(w=w, hw=0, stage_radices=radices)
+                assert len(codec.encode(0)) * w == codec.hbits()
+
+
+class TestEncodingHw0:
+    def test_digits_pack_msb_first(self):
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[4, 4, 4])
+        # dest 27 -> digits 1,2,3 -> bits 01 10 11 padded: 01101100
+        assert codec.encode(27) == [0b01101100]
+
+    def test_multiword_header(self):
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[4, 4, 4])
+        # 6 bits over w=4: word0 = 0110 (digits 1,2), word1 = 11 padded.
+        assert codec.encode(27) == [0b0110, 0b1100]
+
+    def test_straddle_pads_previous_word(self):
+        # w=4, stage bits 3,3: second digit cannot straddle.
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[8, 8])
+        words = codec.encode(0b101_110)  # digits 5, 6
+        assert words == [0b1010, 0b1100]
+
+    def test_radix_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderCodec(w=2, hw=0, stage_radices=[8])
+
+    def test_non_power_of_two_radix_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderCodec(w=4, hw=0, stage_radices=[3])
+
+
+class TestEncodingHw1:
+    def test_one_word_per_stage(self):
+        codec = HeaderCodec(w=8, hw=1, stage_radices=[4, 4, 4])
+        assert codec.encode(27) == [1, 2, 3]
+
+    def test_padding_words(self):
+        codec = HeaderCodec(w=8, hw=3, stage_radices=[4, 4])
+        assert codec.encode(9) == [2, 0, 0, 1, 0, 0]
+
+
+class TestSwallowFlags:
+    def test_exact_fit_swallows_each_word(self):
+        # w=4, 2 bits per stage: word exhausted every two stages.
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[4, 4, 4, 4])
+        assert codec.swallow_flags() == [False, True, False, True]
+
+    def test_final_stage_always_swallows(self):
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[4, 4, 4])
+        flags = codec.swallow_flags()
+        assert flags[-1] is True
+        assert flags == [False, False, True]
+
+    def test_straddle_forces_early_swallow(self):
+        codec = HeaderCodec(w=4, hw=0, stage_radices=[8, 8])
+        assert codec.swallow_flags() == [True, True]
+
+    def test_hw_nonzero_has_no_swallow(self):
+        codec = HeaderCodec(w=4, hw=2, stage_radices=[4, 4])
+        assert codec.swallow_flags() == [False, False]
+
+
+class TestSimulateOracle:
+    """simulate() is the ground truth the router tests compare against."""
+
+    def test_directions_match_digits(self):
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[4, 4, 4])
+        for dest in range(64):
+            directions = [step[0] for step in codec.simulate(dest)]
+            assert directions == codec.digits(dest)
+
+    def test_header_fully_consumed_at_exit(self):
+        for radices in ([4, 4, 4], [2, 2, 2, 4], [4, 8], [8, 8]):
+            for w in (4, 8):
+                if max(radices) > (1 << w):
+                    continue
+                codec = HeaderCodec(w=w, hw=0, stage_radices=radices)
+                for dest in range(codec.destinations):
+                    final_remnant = codec.simulate(dest)[-1][1]
+                    assert final_remnant == []
+
+    def test_hw1_consumes_whole_words(self):
+        codec = HeaderCodec(w=8, hw=1, stage_radices=[4, 4, 4])
+        steps = codec.simulate(27)
+        assert [s[0] for s in steps] == [1, 2, 3]
+        assert steps[0][1] == [2, 3]
+        assert steps[1][1] == [3]
+        assert steps[2][1] == []
+
+    def test_shifted_remnants_expose_next_stage_digits(self):
+        codec = HeaderCodec(w=8, hw=0, stage_radices=[4, 4, 4])
+        for dest in (0, 13, 42, 63):
+            digits = codec.digits(dest)
+            steps = codec.simulate(dest)
+            # After stage 0 the head word's top 2 bits are stage 1's digit.
+            head_after_0 = steps[0][1][0]
+            assert head_after_0 >> 6 == digits[1]

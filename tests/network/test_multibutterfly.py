@@ -1,0 +1,92 @@
+"""Wiring construction invariants."""
+
+import random
+
+from repro.network.multibutterfly import wire
+from repro.network.topology import figure1_plan, figure3_plan
+
+
+def _links(plan, randomize=True, seed=0):
+    return wire(plan, rng=random.Random(seed), randomize=randomize)
+
+
+def test_every_port_wired_exactly_once():
+    plan = figure1_plan()
+    links = _links(plan)
+    sources = [link.src.key() for link in links]
+    dests = [link.dst.key() for link in links]
+    assert len(sources) == len(set(sources))
+    assert len(dests) == len(set(dests))
+
+
+def test_link_count_matches_plan():
+    plan = figure1_plan()
+    links = _links(plan)
+    # 32 endpoint wires in + 32 out of each of stages 0 and 1 + 32 into
+    # endpoints = 4 * 32.
+    assert len(links) == 4 * 32
+
+
+def test_figure3_link_count():
+    plan = figure3_plan()
+    links = _links(plan)
+    assert len(links) == 4 * 128
+
+
+def test_outputs_land_in_correct_blocks():
+    """A stage-s router's direction-g wires must feed block b*r+g."""
+    plan = figure1_plan()
+    links = _links(plan)
+    for link in links:
+        if link.src.kind != "router" or link.dst.kind != "router":
+            continue
+        stage = plan.stages[link.src.stage]
+        direction = link.src.port // stage.dilation
+        expected_block = link.src.block * stage.radix + direction
+        assert link.dst.stage == link.src.stage + 1
+        assert link.dst.block == expected_block
+
+
+def test_final_stage_feeds_matching_endpoints():
+    plan = figure1_plan()
+    links = _links(plan)
+    final = plan.n_stages - 1
+    stage = plan.stages[final]
+    for link in links:
+        if link.src.kind != "router" or link.src.stage != final:
+            continue
+        assert link.dst.kind == "endpoint"
+        direction = link.src.port // stage.dilation
+        expected_endpoint = link.src.block * stage.radix + direction
+        assert link.dst.index == expected_endpoint
+
+
+def test_randomization_changes_wiring_but_not_structure():
+    plan = figure1_plan()
+    a = _links(plan, seed=1)
+    b = _links(plan, seed=2)
+    assert len(a) == len(b)
+    pairs_a = {(l.src.key(), l.dst.key()) for l in a}
+    pairs_b = {(l.src.key(), l.dst.key()) for l in b}
+    assert pairs_a != pairs_b  # different permutations
+    # But the multiset of endpoints-of-links is identical.
+    assert {k for k, _ in pairs_a} == {k for k, _ in pairs_b}
+    assert {k for _, k in pairs_a} == {k for _, k in pairs_b}
+
+
+def test_deterministic_wiring_reproducible():
+    plan = figure1_plan()
+    a = _links(plan, randomize=False)
+    b = _links(plan, randomize=False)
+    assert [(l.src.key(), l.dst.key()) for l in a] == [
+        (l.src.key(), l.dst.key()) for l in b
+    ]
+
+
+def test_same_seed_same_wiring():
+    plan = figure3_plan()
+    a = _links(plan, seed=9)
+    b = _links(plan, seed=9)
+    assert [(l.src.key(), l.dst.key()) for l in a] == [
+        (l.src.key(), l.dst.key()) for l in b
+    ]

@@ -1,0 +1,183 @@
+"""NetworkPlan arithmetic and the paper's Figure 1 / Figure 3 networks."""
+
+import pytest
+
+from repro.core.parameters import RouterParameters
+from repro.network.topology import NetworkPlan, StageSpec, figure1_plan, figure3_plan
+
+
+class TestFigure1:
+    def test_structure_matches_paper(self):
+        plan = figure1_plan()
+        assert plan.n_endpoints == 16
+        assert plan.endpoint_out_ports == 2
+        assert plan.endpoint_in_ports == 2
+        assert plan.n_stages == 3
+        # "constructed from 4x2 (inputs x radix), dilation-2 METRO
+        #  routers and 4x4 dilation-1 routers"
+        assert plan.stages[0].radix == 2 and plan.stages[0].dilation == 2
+        assert plan.stages[1].radix == 2 and plan.stages[1].dilation == 2
+        assert plan.stages[2].radix == 4 and plan.stages[2].dilation == 1
+
+    def test_router_counts(self):
+        plan = figure1_plan()
+        assert [plan.routers_in_stage(s) for s in range(3)] == [8, 8, 8]
+        assert plan.total_routers() == 24
+
+    def test_block_refinement(self):
+        plan = figure1_plan()
+        assert plan.blocks_per_stage == [1, 2, 4]
+        # endpoint 13 = digits (1, 1, 1): blocks 0 -> 1 -> 3.
+        assert plan.destination_block(0, 13) == 0
+        assert plan.destination_block(1, 13) == 1
+        assert plan.destination_block(2, 13) == 3
+
+
+class TestFigure3:
+    def test_structure_matches_paper(self):
+        plan = figure3_plan()
+        assert plan.n_endpoints == 64
+        assert plan.n_stages == 3
+        assert all(stage.radix == 4 for stage in plan.stages)
+        assert [stage.dilation for stage in plan.stages] == [2, 2, 1]
+        assert all(stage.params.w == 8 for stage in plan.stages)
+
+    def test_router_counts(self):
+        plan = figure3_plan()
+        assert [plan.routers_in_stage(s) for s in range(3)] == [16, 16, 32]
+
+
+class TestValidation:
+    def test_radix_product_must_equal_endpoints(self):
+        params = RouterParameters(i=4, o=4, w=4, max_d=2)
+        with pytest.raises(ValueError):
+            NetworkPlan(8, 2, 2, [StageSpec(params, 2), StageSpec(params, 2)])
+
+    def test_wires_must_fill_routers(self):
+        params = RouterParameters(i=8, o=8, w=8, max_d=2)
+        # 4 endpoints x 1 port = 4 wires cannot fill an 8-input router.
+        with pytest.raises(ValueError):
+            NetworkPlan(4, 1, 1, [StageSpec(params, 2)])
+
+    def test_endpoint_in_ports_must_match(self):
+        params = RouterParameters(i=4, o=4, w=4, max_d=2)
+        stages = [StageSpec(params, 2), StageSpec(params, 2), StageSpec(params, 1)]
+        NetworkPlan(16, 2, 2, stages)  # correct
+        with pytest.raises(ValueError):
+            NetworkPlan(16, 2, 1, stages)
+
+    def test_single_stage_crossbar(self):
+        # A lone dilation-1 router is a plain 4x4 crossbar network.
+        params = RouterParameters(i=4, o=4, w=4, max_d=2)
+        plan = NetworkPlan(4, 1, 1, [StageSpec(params, 1)])
+        assert plan.total_routers() == 1
+
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            NetworkPlan(4, 1, 1, [])
+
+
+class TestDestinationBlock:
+    def test_all_destinations_land_in_distinct_final_blocks(self):
+        plan = figure1_plan()
+        finals = {plan.destination_block(2, d) for d in range(16)}
+        # Stage-2 blocks refine into 16 leaf classes after routing; the
+        # stage-2 block only distinguishes groups of four.
+        assert finals == set(range(4))
+
+    def test_block_index_monotone_in_destination(self):
+        plan = figure3_plan()
+        for stage in range(plan.n_stages):
+            blocks = [plan.destination_block(stage, d) for d in range(64)]
+            assert blocks == sorted(blocks)
+
+
+class TestMultibutterflyPlan:
+    def test_reproduces_figure3_shape(self):
+        from repro.network.topology import multibutterfly_plan
+
+        plan = multibutterfly_plan(64, router_ports=8, w=8)
+        reference = figure3_plan()
+        assert plan.stage_radices() == reference.stage_radices()
+        assert [s.dilation for s in plan.stages] == [2, 2, 1]
+        assert plan.n_endpoints == 64
+
+    @pytest.mark.parametrize("n", [4, 16, 64, 256, 1024])
+    def test_power_of_two_sizes(self, n):
+        from repro.network.topology import multibutterfly_plan
+
+        plan = multibutterfly_plan(n, router_ports=8, w=8)
+        assert plan.n_endpoints == n
+        assert plan.stages[-1].dilation == 1
+        assert all(s.dilation == 2 for s in plan.stages[:-1])
+
+    def test_non_power_of_two_rejected(self):
+        from repro.network.topology import multibutterfly_plan
+
+        with pytest.raises(ValueError):
+            multibutterfly_plan(24)
+
+    def test_unreachable_size_rejected(self):
+        from repro.network.topology import multibutterfly_plan
+
+        # radix-4 stages + radix-4 final can only hit powers of 4.
+        with pytest.raises(ValueError):
+            multibutterfly_plan(32, router_ports=8, w=8)
+
+    def test_radix2_parts_reach_any_power_of_two(self):
+        from repro.network.topology import multibutterfly_plan
+
+        plan = multibutterfly_plan(32, router_ports=4, w=4)
+        assert plan.n_endpoints == 32
+        assert plan.stage_radices()[-1] == 2
+
+    def test_built_plan_delivers(self):
+        from repro.endpoint.messages import Message
+        from repro.network.builder import build_network
+        from repro.network.topology import multibutterfly_plan
+
+        network = build_network(multibutterfly_plan(16, router_ports=8, w=8), seed=5)
+        message = network.send(3, Message(dest=12, payload=[1, 2]))
+        assert network.run_until_quiet(max_cycles=5000)
+        assert message.outcome == "delivered"
+
+
+class TestTable3Plans:
+    def test_four_stage_form(self):
+        from repro.network.topology import table3_32node_plan
+
+        plan = table3_32node_plan()
+        assert plan.n_endpoints == 32
+        assert plan.stage_radices() == [2, 2, 2, 4]
+        assert [s.dilation for s in plan.stages] == [2, 2, 2, 1]
+
+    def test_two_stage_form(self):
+        from repro.network.topology import table3_32node_plan
+
+        plan = table3_32node_plan(two_stage=True)
+        assert plan.n_endpoints == 32
+        assert plan.stage_radices() == [4, 8]
+        assert [s.dilation for s in plan.stages] == [2, 1]
+
+    def test_both_forms_deliver(self):
+        from repro.endpoint.messages import Message
+        from repro.network.builder import build_network
+        from repro.network.topology import table3_32node_plan
+
+        for two_stage in (False, True):
+            network = build_network(
+                table3_32node_plan(two_stage=two_stage), seed=9
+            )
+            message = network.send(3, Message(dest=28, payload=[1, 2]))
+            assert network.run_until_quiet(max_cycles=10000)
+            assert message.outcome == "delivered", two_stage
+
+    def test_hbits_match_paper(self):
+        from repro.network.builder import build_network
+        from repro.network.topology import table3_32node_plan
+
+        for two_stage in (False, True):
+            network = build_network(
+                table3_32node_plan(two_stage=two_stage), seed=10
+            )
+            assert network.codec.hbits() == 8  # Table 4's value for both

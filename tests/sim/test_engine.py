@@ -1,0 +1,103 @@
+"""Engine ordering and two-phase update guarantees."""
+
+from repro.core import words as W
+from repro.sim.channel import Channel
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+
+
+class _Forwarder(Component):
+    """Copies its input end to its output end every cycle."""
+
+    def __init__(self, name, inp, out):
+        self.name = name
+        self.inp = inp
+        self.out = out
+
+    def tick(self, cycle):
+        word = self.inp.recv()
+        if word is not None:
+            self.out.send(word)
+
+
+class _Counter(Component):
+    def __init__(self):
+        self.name = "counter"
+        self.ticks = []
+
+    def tick(self, cycle):
+        self.ticks.append(cycle)
+
+
+def test_cycle_numbers_are_sequential():
+    engine = Engine()
+    counter = engine.add_component(_Counter())
+    engine.run(5)
+    assert counter.ticks == [0, 1, 2, 3, 4]
+    assert engine.cycle == 5
+
+
+def _pipeline_engine(order_reversed):
+    """Two forwarders in a row; result must not depend on tick order."""
+    engine = Engine()
+    c1 = engine.add_channel(Channel(delay=1, name="c1"))
+    c2 = engine.add_channel(Channel(delay=1, name="c2"))
+    c3 = engine.add_channel(Channel(delay=1, name="c3"))
+    f1 = _Forwarder("f1", c1.b, c2.a)
+    f2 = _Forwarder("f2", c2.b, c3.a)
+    if order_reversed:
+        engine.add_component(f2)
+        engine.add_component(f1)
+    else:
+        engine.add_component(f1)
+        engine.add_component(f2)
+    return engine, c1, c3
+
+
+def _latency_through(engine, c_in, c_out):
+    c_in.a.send(W.data(7))
+    for cycle in range(1, 20):
+        engine.step()
+        if c_out.b.recv() == W.data(7):
+            return cycle
+    raise AssertionError("word never arrived")
+
+
+def test_two_phase_update_is_order_independent():
+    latencies = []
+    for order_reversed in (False, True):
+        engine, c_in, c_out = _pipeline_engine(order_reversed)
+        latencies.append(_latency_through(engine, c_in, c_out))
+    assert latencies[0] == latencies[1] == 3  # three delay-1 channels
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    counter = engine.add_component(_Counter())
+    fired = engine.run_until(lambda e: e.cycle >= 3, max_cycles=100)
+    assert fired
+    assert engine.cycle == 3
+    assert len(counter.ticks) == 3
+
+
+def test_run_until_budget_exhaustion():
+    engine = Engine()
+    fired = engine.run_until(lambda e: False, max_cycles=10)
+    assert not fired
+    assert engine.cycle == 10
+
+
+def test_pre_cycle_hooks_run_before_ticks():
+    engine = Engine()
+    seen = []
+
+    class _Probe(Component):
+        name = "probe"
+
+        def tick(self, cycle):
+            seen.append(("tick", cycle))
+
+    engine.add_component(_Probe())
+    engine.add_pre_cycle_hook(lambda e: seen.append(("hook", e.cycle)))
+    engine.run(2)
+    assert seen == [("hook", 0), ("tick", 0), ("hook", 1), ("tick", 1)]

@@ -1,0 +1,44 @@
+"""Trace collection."""
+
+from repro.sim.trace import Trace, TraceEvent
+
+
+def test_records_events_and_counts():
+    trace = Trace()
+    trace.record(1, "r0", "conn-open", (0, 1))
+    trace.record(2, "r0", "conn-drop", (0, 1))
+    trace.record(3, "r1", "conn-open", (2, 3))
+    assert trace.counts["conn-open"] == 2
+    assert trace.counts["conn-drop"] == 1
+    assert len(trace.events) == 3
+    assert [e.cycle for e in trace.of_kind("conn-open")] == [1, 3]
+
+
+def test_enabled_kinds_filter():
+    trace = Trace(enabled_kinds={"conn-open"})
+    trace.record(1, "r0", "conn-open")
+    trace.record(2, "r0", "conn-drop")
+    assert trace.counts == {"conn-open": 1}
+    assert len(trace.events) == 1
+
+
+def test_counters_without_event_retention():
+    trace = Trace(keep_events=False)
+    for cycle in range(100):
+        trace.record(cycle, "r0", "tick")
+    assert trace.counts["tick"] == 100
+    assert trace.events == []
+
+
+def test_clear():
+    trace = Trace()
+    trace.record(1, "x", "y")
+    trace.clear()
+    assert trace.events == []
+    assert trace.counts == {}
+
+
+def test_event_repr_is_readable():
+    event = TraceEvent(5, "r1.0.2", "conn-blocked", (3, "fast"))
+    text = repr(event)
+    assert "r1.0.2" in text and "conn-blocked" in text

@@ -1,0 +1,52 @@
+"""Wormhole harness: measured-window statistics."""
+
+from repro.baseline.harness import (
+    closed_loop_traffic,
+    run_wormhole_point,
+)
+from repro.network.topology import figure1_plan
+
+
+def test_closed_loop_traffic_shape():
+    source_for = closed_loop_traffic(16, 4, rate=1.0, message_words=5, seed=1)
+    source = source_for(3)
+    dest, payload = source(0)
+    assert 0 <= dest < 16 and dest != 3
+    assert len(payload) == 5
+    assert all(0 <= value < 16 for value in payload)
+
+
+def test_closed_loop_traffic_rate_zero_generates_nothing():
+    source_for = closed_loop_traffic(16, 4, rate=0.0, message_words=5, seed=2)
+    source = source_for(0)
+    assert all(source(cycle) is None for cycle in range(100))
+
+
+def test_run_point_statistics():
+    result = run_wormhole_point(
+        figure1_plan(),
+        rate=0.03,
+        seed=3,
+        message_words=8,
+        warmup_cycles=200,
+        measure_cycles=1200,
+    )
+    assert result.delivered_count > 10
+    assert result.mean_latency > 0
+    assert result.latency_percentile(95) >= result.median_latency
+    assert 0 < result.delivered_load < 1
+    data = result.as_dict()
+    assert set(data) >= {"delivered", "mean_latency", "delivered_load"}
+
+
+def test_latency_rises_with_load():
+    light = run_wormhole_point(
+        figure1_plan(), rate=0.005, seed=4, message_words=8,
+        warmup_cycles=200, measure_cycles=1500,
+    )
+    heavy = run_wormhole_point(
+        figure1_plan(), rate=0.4, seed=4, message_words=8,
+        warmup_cycles=200, measure_cycles=1500,
+    )
+    assert heavy.delivered_load > light.delivered_load
+    assert heavy.mean_latency > light.mean_latency

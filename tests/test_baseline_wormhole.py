@@ -1,0 +1,223 @@
+"""The wormhole packet-switched baseline."""
+
+import random
+
+import pytest
+
+from repro.baseline.builder import build_wormhole_network
+from repro.network.topology import figure1_plan, figure3_plan
+
+
+def _network(plan=None, seed=1, **kwargs):
+    return build_wormhole_network(plan or figure1_plan(), seed=seed, **kwargs)
+
+
+class TestDelivery:
+    def test_single_packet(self):
+        network = _network()
+        packet = network.send(2, 13, [1, 2, 3, 4])
+        assert network.run_until_quiet(max_cycles=5000)
+        assert packet.done_cycle is not None
+        assert packet.checksum_ok
+        assert network.delivered == [packet]
+        assert network.checksum_failures == 0
+
+    def test_every_pair_delivers(self):
+        network = _network(seed=2)
+        packets = []
+        for src in range(16):
+            for dest in range(16):
+                packets.append(network.send(src, dest, [src, dest]))
+        assert network.run_until_quiet(max_cycles=100000)
+        assert len(network.delivered) == 256
+        assert all(p.checksum_ok for p in packets)
+
+    def test_figure3_plan(self):
+        network = _network(plan=figure3_plan(), seed=3)
+        rng = random.Random(4)
+        packets = [
+            network.send(rng.randrange(64), rng.randrange(64), [7] * 20)
+            for _ in range(30)
+        ]
+        assert network.run_until_quiet(max_cycles=100000)
+        assert all(p.checksum_ok for p in packets)
+
+    def test_payload_integrity(self):
+        network = _network(seed=5)
+        payload = [v & 0xF for v in range(50)]
+        network.send(0, 9, payload)
+        assert network.run_until_quiet(max_cycles=10000)
+        # Checksum verified at the sink; zero failures means the exact
+        # payload arrived.
+        assert network.checksum_failures == 0
+        assert network.sinks[9].received == 1
+
+
+class TestBlockingBehaviour:
+    def test_contention_absorbs_in_buffers_no_loss(self):
+        """Unlike METRO, a blocked wormhole packet waits in buffers:
+        everyone to one destination still delivers, with zero retries
+        (there is no retry machinery at all)."""
+        network = _network(seed=6)
+        packets = [
+            network.send(src, 0, [src] * 6) for src in range(1, 16)
+        ]
+        assert network.run_until_quiet(max_cycles=50000)
+        assert len(network.delivered) == 15
+        assert all(p.checksum_ok for p in packets)
+
+    def test_backpressure_counts_buffered_flits(self):
+        network = _network(seed=7)
+        for src in range(1, 16):
+            network.send(src, 0, [src] * 20)
+        network.run(30)
+        buffered = sum(
+            router.buffered_flits()
+            for stage in network.routers
+            for router in stage
+        )
+        assert buffered > 0  # contention is sitting in buffers
+
+    def test_no_flit_ever_overflows(self):
+        """The credit protocol must hold under sustained load (the
+        router asserts on overflow, so surviving the run is the test)."""
+        network = _network(seed=8, buffer_depth=2)
+        rng = random.Random(9)
+        for _ in range(120):
+            network.send(rng.randrange(16), rng.randrange(16), [1, 2, 3])
+        assert network.run_until_quiet(max_cycles=200000)
+        assert len(network.delivered) == 120
+
+
+class TestLatencyCharacter:
+    def test_unloaded_latency_same_regime_as_metro(self):
+        """Same topology, same 20-byte payload: wormhole unloaded
+        latency lands in the same few-tens-of-cycles regime (no acks,
+        so somewhat lower than METRO's round-trip figure)."""
+        network = _network(plan=figure3_plan(), seed=10)
+        packet = network.send(5, 40, [3] * 20)
+        assert network.run_until_quiet(max_cycles=5000)
+        assert 20 <= packet.total_latency <= 50
+
+    def test_deeper_buffers_do_not_hurt_unloaded(self):
+        shallow = _network(seed=11, buffer_depth=2)
+        deep = _network(seed=11, buffer_depth=16)
+        a = shallow.send(1, 9, [5] * 10)
+        b = deep.send(1, 9, [5] * 10)
+        shallow.run_until_quiet(max_cycles=5000)
+        deep.run_until_quiet(max_cycles=5000)
+        assert a.total_latency == b.total_latency
+
+
+class TestAdversarialWormhole:
+    def test_tornado_pattern_sustained(self):
+        """Structured permutation under sustained load: credits must
+        hold, everything delivers, nothing deadlocks (the forward-only
+        multistage channel graph is acyclic)."""
+        from repro.network.topology import figure3_plan
+
+        network = _network(plan=figure3_plan(), seed=12, buffer_depth=3)
+        n = 64
+        for round_number in range(4):
+            for src in range(n):
+                dest = (src + n // 2 - 1) % n  # tornado
+                if dest != src:
+                    network.send(src, dest, [round_number] * 10)
+        assert network.run_until_quiet(max_cycles=400000)
+        assert len(network.delivered) == 4 * 64
+        assert network.checksum_failures == 0
+
+    def test_single_flit_packets(self):
+        network = _network(seed=13)
+        packets = [network.send(src, (src + 1) % 16, []) for src in range(16)]
+        assert network.run_until_quiet(max_cycles=20000)
+        assert all(p.checksum_ok for p in packets)
+
+    def test_interleaved_sizes(self):
+        import random as _random
+
+        network = _network(seed=14)
+        rng = _random.Random(15)
+        packets = []
+        for _ in range(40):
+            size = rng.choice([0, 1, 5, 30])
+            packets.append(
+                network.send(rng.randrange(16), rng.randrange(16),
+                             [rng.getrandbits(4) for _ in range(size)])
+            )
+        assert network.run_until_quiet(max_cycles=200000)
+        assert all(p.checksum_ok for p in packets)
+
+
+class TestStoreAndForward:
+    """Section 2's long-haul discipline: whole-packet buffering."""
+
+    def _latency(self, store_and_forward, payload_words=10, buffer_depth=16):
+        network = _network(
+            plan=figure3_plan(), seed=20, buffer_depth=buffer_depth,
+            store_and_forward=store_and_forward,
+        )
+        packet = network.send(3, 44, [5] * payload_words)
+        assert network.run_until_quiet(max_cycles=20000)
+        assert packet.checksum_ok
+        return packet.total_latency
+
+    def test_delivers_correctly(self):
+        network = _network(seed=21, buffer_depth=16, store_and_forward=True)
+        packets = [
+            network.send(src, (src + 5) % 16, [src] * 6) for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=100000)
+        assert all(p.checksum_ok for p in packets)
+
+    def test_pays_per_hop_serialization(self):
+        """Store-and-forward re-serializes the packet at every hop:
+        latency ~ hops x packet length, vs hops + length for wormhole.
+        For a 12-flit packet over 3 stages the gap is ~2 packet times."""
+        cut_through = self._latency(False)
+        stored = self._latency(True)
+        assert stored > cut_through + 2 * 10
+        # And the gap grows with packet size (the Section 2 point about
+        # why long-haul disciplines hurt short-haul latency).
+        cut_long = self._latency(False, payload_words=24, buffer_depth=32)
+        stored_long = self._latency(True, payload_words=24, buffer_depth=32)
+        assert (stored_long - cut_long) > (stored - cut_through)
+
+    def test_oversized_packet_asserts(self):
+        network = _network(seed=22, buffer_depth=4, store_and_forward=True)
+        network.send(0, 9, [1] * 10)  # 12 flits > 4-deep buffer
+        with pytest.raises(AssertionError):
+            network.run(200)
+
+
+class TestConservationFuzz:
+    def test_flit_conservation_under_random_traffic(self):
+        """Every injected flit is either delivered or still buffered at
+        any observation instant; at quiescence everything delivered."""
+        import random as _random
+
+        network = _network(seed=30, buffer_depth=3)
+        rng = _random.Random(31)
+        sent_flits = 0
+        for _ in range(60):
+            size = rng.randrange(0, 8)
+            network.send(rng.randrange(16), rng.randrange(16),
+                         [rng.getrandbits(4) for _ in range(size)])
+            sent_flits += size + 2  # head + payload + tail
+            network.run(rng.randrange(0, 6))
+            # Invariant at an arbitrary instant: nothing overflowed
+            # (routers assert), buffers bounded by depth.
+            for stage in network.routers:
+                for router in stage:
+                    for port in router._inputs:
+                        assert len(port.fifo) <= router.buffer_depth
+        assert network.run_until_quiet(max_cycles=300000)
+        delivered_flits = sum(
+            len(p.payload) + 2 for p in network.delivered
+        )
+        assert delivered_flits == sent_flits
+        assert all(
+            router.buffered_flits() == 0
+            for stage in network.routers
+            for router in stage
+        )

@@ -1,0 +1,75 @@
+"""CLI smoke tests: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(capsys, argv):
+    code = main(argv)
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_table3(capsys):
+    out = _run(capsys, ["table3"])
+    assert "METROJR-ORBIT" in out
+    assert "1250" in out
+
+
+def test_table5(capsys):
+    out = _run(capsys, ["table5"])
+    assert "GIGAswitch" in out
+    assert "Mercury/Race" in out
+
+
+def test_figure1(capsys):
+    out = _run(capsys, ["figure1"])
+    assert "paths endpoint 6 -> 16: 8" in out
+    assert "survives any single stage-2 router loss: True" in out
+
+
+def test_figure3_small(capsys):
+    out = _run(
+        capsys,
+        ["figure3", "--rates", "0.005,0.08", "--warmup", "200", "--measure", "600"],
+    )
+    assert "Unloaded latency" in out
+    assert "mean_latency" in out
+    assert "latency vs delivered load" in out  # the ascii chart rendered
+
+
+def test_faults_small(capsys):
+    out = _run(
+        capsys,
+        ["faults", "--links", "2", "--warmup", "200", "--measure", "600"],
+    )
+    assert "Fault degradation point" in out
+
+
+def test_send(capsys):
+    out = _run(capsys, ["send", "5", "15"])
+    assert "5 -> 15: delivered" in out
+
+
+def test_send_verbose_traces_protocol(capsys):
+    out = _run(capsys, ["send", "2", "9", "--verbose"])
+    assert "conn-open" in out
+    assert "conn-turn" in out
+    assert "recv-message" in out
+
+
+def test_send_fattree(capsys):
+    out = _run(capsys, ["send", "1", "14", "--network", "fattree"])
+    assert "delivered" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_breakdown(capsys):
+    out = _run(capsys, ["breakdown"])
+    assert "Latency decomposition" in out
+    assert "injection_dominates" in out

@@ -1,0 +1,65 @@
+"""Configuration matrix: correctness across the knob cross-product.
+
+Each cell builds a differently-configured network and checks a quick
+all-deliver workload plus post-run cleanliness.  Broad but shallow —
+the deep behaviour of each knob is tested in its own module; this file
+guards against *interactions* between knobs.
+"""
+
+import pytest
+
+from repro.core.crossbar import FIRST_FREE, RANDOM, ROUND_ROBIN
+from repro.core.parameters import RouterParameters
+from repro.endpoint.messages import DELIVERED, Message
+from repro.network.builder import build_network
+from repro.network.topology import NetworkPlan, StageSpec, figure1_plan
+
+
+def _hw_plan(hw, w=4):
+    params = RouterParameters(i=4, o=4, w=w, max_d=2, hw=hw)
+    return NetworkPlan(
+        16, 2, 2,
+        [StageSpec(params, 2), StageSpec(params, 2), StageSpec(params, 1)],
+    )
+
+
+MATRIX = [
+    # (label, plan factory, build kwargs)
+    ("baseline", figure1_plan, {}),
+    ("fast-reclaim", figure1_plan, {"fast_reclaim": True}),
+    ("butterfly-wiring", figure1_plan, {"randomize_wiring": False}),
+    ("deep-links", figure1_plan, {"link_delay": 3}),
+    ("first-free", figure1_plan, {"selection_policy": FIRST_FREE}),
+    ("round-robin", figure1_plan, {"selection_policy": ROUND_ROBIN}),
+    ("hw1-fast-deep", lambda: _hw_plan(1),
+     {"fast_reclaim": True, "link_delay": 2}),
+    ("hw2-butterfly", lambda: _hw_plan(2), {"randomize_wiring": False}),
+    ("w8-roundrobin-deep", lambda: _hw_plan(0, w=8),
+     {"selection_policy": ROUND_ROBIN, "link_delay": 2}),
+    ("no-watchdog", figure1_plan, {"signal_timeout": None}),
+    ("dual-outstanding", figure1_plan,
+     {"endpoint_kwargs": {"max_outstanding": 2}}),
+    ("tight-timeout", figure1_plan,
+     {"endpoint_kwargs": {"reply_timeout": 120, "backoff": (0, 0)}}),
+]
+
+
+@pytest.mark.parametrize(
+    "label,plan_factory,kwargs", MATRIX, ids=[row[0] for row in MATRIX]
+)
+def test_configuration_cell(label, plan_factory, kwargs):
+    network = build_network(plan_factory(), seed=hash(label) & 0xFFFF, **kwargs)
+    messages = []
+    for src in range(0, 16, 3):
+        for dest in (5, 11):
+            messages.append(
+                network.send(src, Message(dest=dest, payload=[src, dest]))
+            )
+    assert network.run_until_quiet(max_cycles=120000), label
+    for message in messages:
+        assert message.outcome == DELIVERED, (label, message)
+    for router in network.all_routers():
+        assert router.busy_backward_ports() == [], (label, router.name)
+    for channel in network.channels.values():
+        assert channel.half_duplex_violations == 0, (label, channel.name)
+    assert network.log.receiver_checksum_failures == 0, label

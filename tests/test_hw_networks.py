@@ -1,0 +1,96 @@
+"""Setup-pipelined (hw >= 1) networks under stress and faults.
+
+The hw = 0 path gets most of the integration mileage; these tests put
+the hw = 1 and hw = 2 router variants through the same contention,
+fault and sustained-traffic situations.
+"""
+
+import pytest
+
+from repro.core.parameters import RouterParameters
+from repro.endpoint.messages import DELIVERED, Message
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.faults.injector import FaultInjector, router_to_router_channels
+from repro.faults.model import CorruptLink, DeadLink, DeadRouter
+from repro.network.builder import build_network
+from repro.network.topology import NetworkPlan, StageSpec
+
+
+def hw_plan(hw):
+    params = RouterParameters(i=4, o=4, w=4, max_d=2, hw=hw)
+    return NetworkPlan(
+        16,
+        2,
+        2,
+        [StageSpec(params, 2), StageSpec(params, 2), StageSpec(params, 1)],
+    )
+
+
+@pytest.mark.parametrize("hw", [1, 2])
+class TestHwUnderStress:
+    def test_hotspot_contention(self, hw):
+        network = build_network(hw_plan(hw), seed=71)
+        messages = [
+            network.send(src, Message(dest=0, payload=[src]))
+            for src in range(1, 16)
+        ]
+        assert network.run_until_quiet(max_cycles=100000)
+        assert all(m.outcome == DELIVERED for m in messages)
+
+    def test_fast_reclaim_mode(self, hw):
+        network = build_network(hw_plan(hw), seed=72, fast_reclaim=True)
+        messages = [
+            network.send(src, Message(dest=0, payload=[src]))
+            for src in range(1, 16)
+        ]
+        assert network.run_until_quiet(max_cycles=100000)
+        assert all(m.outcome == DELIVERED for m in messages)
+        assert network.log.attempt_failures.get("blocked-fast", 0) > 0
+
+    def test_dead_router_routed_around(self, hw):
+        network = build_network(hw_plan(hw), seed=73)
+        FaultInjector(network).now(DeadRouter(1, 0, 1))
+        messages = [
+            network.send(src, Message(dest=(src + 3) % 16, payload=[src]))
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=120000)
+        assert all(m.outcome == DELIVERED for m in messages)
+
+    def test_corrupt_header_word_detected(self, hw):
+        """Corruption of a consumed header word misroutes; the wrong
+        destination nacks and the retry recovers."""
+        network = build_network(hw_plan(hw), seed=74)
+        for src_key, dst_key in router_to_router_channels(network):
+            if src_key[1] == 0:
+                FaultInjector(network).now(
+                    CorruptLink(
+                        src_key=src_key, dst_key=dst_key,
+                        probability=0.4, mask=0x3, seed=7,
+                    )
+                )
+        messages = [
+            network.send(src, Message(dest=(src + 5) % 16, payload=[1, 2, 3]))
+            for src in range(16)
+        ]
+        assert network.run_until_quiet(max_cycles=200000)
+        assert all(m.outcome == DELIVERED for m in messages)
+
+    def test_sustained_traffic_no_leaks(self, hw):
+        network = build_network(hw_plan(hw), seed=75, fast_reclaim=True)
+        traffic = UniformRandomTraffic(16, 4, rate=0.04, message_words=6, seed=8)
+        traffic.attach(network)
+        network.run(3000)
+        for endpoint in network.endpoints:
+            endpoint.traffic_source = None
+        assert network.run_until_quiet(max_cycles=50000)
+        for router in network.all_routers():
+            assert router.busy_backward_ports() == []
+        assert len(network.log.delivered()) > 50
+        assert network.log.abandoned() == []
+
+
+def test_header_length_grows_with_hw():
+    for hw in (1, 2):
+        network = build_network(hw_plan(hw), seed=76)
+        assert network.codec.header_length() == hw * 3  # hw words x stages

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on the core data structures."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import words as W
+from repro.core.cascade import join_slices, split_value
+from repro.core.crossbar import CrossbarAllocator
+from repro.core.parameters import RouterConfig, RouterParameters
+from repro.core.random_source import RandomStream
+from repro.network.headers import HeaderCodec
+from repro.sim.channel import Channel
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+widths = st.sampled_from([4, 8, 16])
+
+
+@st.composite
+def codec_specs(draw):
+    """A consistent (w, hw, radices) triple plus a destination."""
+    w = draw(widths)
+    hw = draw(st.sampled_from([0, 1, 2]))
+    n_stages = draw(st.integers(min_value=1, max_value=6))
+    radices = [
+        draw(st.sampled_from([r for r in (1, 2, 4, 8) if r <= (1 << w)]))
+        for _ in range(n_stages)
+    ]
+    total = math.prod(radices)
+    dest = draw(st.integers(min_value=0, max_value=total - 1))
+    return w, hw, radices, dest
+
+
+# ---------------------------------------------------------------------------
+# Header codec
+# ---------------------------------------------------------------------------
+
+@given(codec_specs())
+@settings(max_examples=150)
+def test_header_directions_equal_digits(spec):
+    w, hw, radices, dest = spec
+    codec = HeaderCodec(w=w, hw=hw, stage_radices=radices)
+    directions = [step[0] for step in codec.simulate(dest)]
+    assert directions == codec.digits(dest)
+
+
+@given(codec_specs())
+@settings(max_examples=150)
+def test_header_fully_consumed(spec):
+    w, hw, radices, dest = spec
+    codec = HeaderCodec(w=w, hw=hw, stage_radices=radices)
+    assert codec.simulate(dest)[-1][1] == []
+
+
+@given(codec_specs())
+@settings(max_examples=150)
+def test_hbits_matches_encoded_length(spec):
+    w, hw, radices, dest = spec
+    codec = HeaderCodec(w=w, hw=hw, stage_radices=radices)
+    assert len(codec.encode(dest)) * w == codec.hbits()
+
+
+@given(codec_specs())
+@settings(max_examples=100)
+def test_distinct_destinations_have_distinct_digit_strings(spec):
+    w, hw, radices, dest = spec
+    codec = HeaderCodec(w=w, hw=hw, stage_radices=radices)
+    other = (dest + 1) % codec.destinations
+    if other != dest:
+        assert codec.digits(dest) != codec.digits(other)
+
+
+@given(codec_specs())
+@settings(max_examples=100)
+def test_header_word_values_fit_width(spec):
+    w, hw, radices, dest = spec
+    codec = HeaderCodec(w=w, hw=hw, stage_radices=radices)
+    assert all(0 <= value < (1 << w) for value in codec.encode(dest))
+
+
+# ---------------------------------------------------------------------------
+# Checksum
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=60))
+def test_checksum_incremental_equals_batch(values):
+    crc = W.Checksum()
+    for value in values:
+        crc.update(value)
+    assert crc.value == W.checksum_of(values)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=0xFF), min_size=1, max_size=40),
+    st.data(),
+)
+def test_checksum_detects_any_single_bit_flip(values, data):
+    index = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    flipped = list(values)
+    flipped[index] ^= 1 << bit
+    assert W.checksum_of(flipped) != W.checksum_of(values)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=0xFF), max_size=40))
+def test_checksum_stays_in_one_byte(values):
+    assert 0 <= W.checksum_of(values) < 256
+
+
+# ---------------------------------------------------------------------------
+# Cascade slicing
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.sampled_from([(4, 2), (4, 4), (8, 2), (8, 4), (16, 2)]),
+)
+def test_split_join_roundtrip(value, shape):
+    w, c = shape
+    value &= (1 << (w * c)) - 1
+    slices = split_value(value, w, c)
+    assert len(slices) == c
+    assert all(0 <= part < (1 << w) for part in slices)
+    assert join_slices(slices, w) == value
+
+
+# ---------------------------------------------------------------------------
+# Crossbar allocator invariants under random operation sequences
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=120),
+)
+@settings(max_examples=80)
+def test_allocator_never_double_books(seed, directions):
+    params = RouterParameters(i=8, o=8, w=8, max_d=2)
+    config = RouterConfig(params, dilation=2)
+    allocator = CrossbarAllocator(config, RandomStream(seed))
+    held = []
+    for step, direction in enumerate(directions):
+        if held and step % 3 == 0:
+            allocator.release(held.pop())
+        port = allocator.allocate(direction)
+        if port is not None:
+            assert port not in held
+            assert port in config.backward_group(direction)
+            held.append(port)
+        assert allocator.occupancy() == len(held)
+    # Full drain always succeeds.
+    for port in held:
+        allocator.release(port)
+    assert allocator.occupancy() == 0
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30)
+def test_allocator_blocks_exactly_when_group_full(seed):
+    params = RouterParameters(i=8, o=8, w=8, max_d=2)
+    config = RouterConfig(params, dilation=2)
+    allocator = CrossbarAllocator(config, RandomStream(seed))
+    for direction in range(4):
+        assert allocator.allocate(direction) is not None
+        assert allocator.allocate(direction) is not None
+        assert allocator.allocate(direction) is None
+
+
+# ---------------------------------------------------------------------------
+# Channel: arbitrary traffic is delivered in order after `delay` cycles
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=255)),
+        max_size=60,
+    ),
+)
+def test_channel_is_a_pure_delay_line(delay, pattern):
+    channel = Channel(delay=delay)
+    received = []
+    sent = []
+    for value in pattern + [None] * delay:
+        if value is not None:
+            channel.a.send(W.data(value))
+            sent.append(value)
+        channel.advance()
+        word = channel.b.recv()
+        if word is not None:
+            received.append(word.value)
+    assert received == sent
