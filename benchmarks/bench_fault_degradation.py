@@ -6,21 +6,34 @@ This bench holds offered load fixed on the Figure 3 network and kills
 increasing numbers of wires and routers: delivered throughput should
 decline gracefully (no cliff, no livelock) while latency and retry
 counts rise.
+
+Fault levels are independent trials on the shared parallel runner:
+``REPRO_BENCH_WORKERS`` fans them across processes and
+``REPRO_BENCH_CACHE`` reuses measured levels across invocations, with
+results identical to a serial run either way.
 """
 
+import os
+
 from repro.harness.fault_sweep import fault_degradation_sweep
+from repro.harness.parallel import TrialRunner
 from repro.harness.reporting import format_series, results_to_series
 
 LEVELS = ((0, 0), (4, 0), (8, 0), (16, 0), (4, 2), (8, 4))
 
 
 def _sweep():
+    runner = TrialRunner(
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE"),
+    )
     return fault_degradation_sweep(
         fault_levels=LEVELS,
         rate=0.02,
         seed=5,
         warmup_cycles=800,
         measure_cycles=3500,
+        runner=runner,
     )
 
 

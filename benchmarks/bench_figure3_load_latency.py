@@ -7,11 +7,19 @@ stalling until completion).  This bench sweeps the injection rate and
 prints the (delivered load, latency) series; assertions pin the
 qualitative shape the paper shows — flat latency at light load rising
 steeply toward saturation — and the unloaded latency regime.
+
+The sweep runs through the shared parallel trial runner: set
+``REPRO_BENCH_WORKERS`` to fan the rates across worker processes
+(results are identical to serial for the same seed) and
+``REPRO_BENCH_CACHE`` to a directory to reuse points across bench
+invocations.
 """
 
 import math
+import os
 
 from repro.harness.load_sweep import figure3_sweep, unloaded_latency
+from repro.harness.parallel import TrialRunner
 from repro.harness.reporting import format_series, format_table, results_to_series
 
 RATES = (0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
@@ -19,8 +27,13 @@ RATES = (0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32)
 
 def _sweep():
     base = unloaded_latency(seed=3, samples=12)
+    runner = TrialRunner(
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE"),
+    )
     results = figure3_sweep(
-        rates=RATES, seed=3, warmup_cycles=800, measure_cycles=3500
+        rates=RATES, seed=3, warmup_cycles=800, measure_cycles=3500,
+        runner=runner,
     )
     return base, results
 

@@ -6,13 +6,42 @@
     python -m repro table5
     python -m repro figure1
     python -m repro figure3 --measure 2500 --rates 0.002,0.02,0.16
+    python -m repro figure3 --workers 4 --cache-dir ~/.cache/repro
     python -m repro faults --links 8 --routers 4
-    python -m repro saturation
+    python -m repro faults --levels 0:0,8:0,8:4 --workers 4
+    python -m repro saturation --workers 4
     python -m repro send 5 15 --network figure1
+
+``--workers N`` fans a sweep's independent trials across N worker
+processes; results are bit-identical to a serial run for the same
+``--seed``.  ``--cache-dir DIR`` reuses already-computed trial results
+across invocations (see ``docs/parallel.md``).
 """
 
 import argparse
 import sys
+
+
+def _runner(args):
+    """The shared TrialRunner configured by --workers/--cache-dir."""
+    from repro.harness.parallel import TrialRunner
+    from repro.harness.reporting import progress_printer
+
+    return TrialRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=progress_printer() if args.progress else None,
+    )
+
+
+def _report_runner_stats(runner):
+    if runner.stats.executed or runner.stats.cached:
+        print(
+            "trials: {} executed ({:.1f}s), {} from cache".format(
+                runner.stats.executed, runner.stats.seconds, runner.stats.cached
+            ),
+            file=sys.stderr,
+        )
 
 
 def _cmd_table3(args):
@@ -77,12 +106,15 @@ def _cmd_figure3(args):
     rates = tuple(float(r) for r in args.rates.split(","))
     base = unloaded_latency(seed=args.seed, samples=8)
     print("Unloaded latency: {:.1f} cycles (paper: 28)\n".format(base))
+    runner = _runner(args)
     results = figure3_sweep(
         rates=rates,
         seed=args.seed,
         warmup_cycles=args.warmup,
         measure_cycles=args.measure,
+        runner=runner,
     )
+    _report_runner_stats(runner)
     print(
         format_series(
             results_to_series(results),
@@ -104,9 +136,31 @@ def _cmd_figure3(args):
 
 
 def _cmd_faults(args):
-    from repro.harness.fault_sweep import run_fault_point
+    from repro.harness.fault_sweep import fault_degradation_sweep, run_fault_point
     from repro.harness.reporting import format_table
 
+    if args.levels:
+        levels = tuple(
+            tuple(int(n) for n in level.split(":"))
+            for level in args.levels.split(",")
+        )
+        runner = _runner(args)
+        results = fault_degradation_sweep(
+            fault_levels=levels,
+            rate=args.rate,
+            seed=args.seed,
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            runner=runner,
+        )
+        _report_runner_stats(runner)
+        print(
+            format_table(
+                [r.as_dict() for r in results],
+                title="Fault degradation sweep",
+            )
+        )
+        return 0
     result = run_fault_point(
         n_dead_links=args.links,
         n_dead_routers=args.routers,
@@ -147,9 +201,11 @@ def _cmd_saturation(args):
     from repro.harness.reporting import format_series, results_to_series
     from repro.harness.saturation import find_saturation
 
+    runner = _runner(args)
     saturated, results = find_saturation(
-        seed=args.seed, measure_cycles=args.measure
+        seed=args.seed, measure_cycles=args.measure, runner=runner
     )
+    _report_runner_stats(runner)
     print(
         format_series(
             results_to_series(results),
@@ -202,6 +258,24 @@ def build_parser():
         description="METRO (ISCA 1994) reproduction: regenerate paper results.",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep trials (1 = serial; results "
+        "are identical either way for the same --seed)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk trial cache (repeat runs skip "
+        "already-computed sweep points)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-trial progress/timing lines to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table3", help="Table 3 implementation examples")
@@ -219,6 +293,12 @@ def build_parser():
     faults.add_argument("--rate", type=float, default=0.02)
     faults.add_argument("--warmup", type=int, default=600)
     faults.add_argument("--measure", type=int, default=2500)
+    faults.add_argument(
+        "--levels",
+        default=None,
+        help="run a full degradation sweep over LINKS:ROUTERS levels, "
+        "e.g. 0:0,8:0,8:4 (parallelizes with --workers)",
+    )
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)

@@ -1,14 +1,27 @@
 """Experiment harness: runners and reporting for every paper figure."""
 
-from repro.harness.batch import ExperimentGrid
+from repro.harness.batch import ExperimentGrid, run_grid_trial
 from repro.harness.breakdown import LatencyBreakdown, measure_breakdown
 from repro.harness.experiment import ExperimentResult, run_experiment
-from repro.harness.fault_sweep import fault_degradation_sweep, run_fault_point
+from repro.harness.fault_sweep import (
+    fault_degradation_sweep,
+    fault_trial_specs,
+    run_fault_point,
+)
+from repro.harness.parallel import (
+    TrialCache,
+    TrialRunner,
+    TrialSpec,
+    TrialTimeoutError,
+    run_trials,
+)
 from repro.harness.utilization import UtilizationProbe, attach_probe
 from repro.harness.load_sweep import (
     DEFAULT_RATES,
+    figure1_network,
     figure3_network,
     figure3_sweep,
+    load_trial_specs,
     run_load_point,
     unloaded_latency,
 )
@@ -16,28 +29,47 @@ from repro.harness.reporting import (
     ascii_chart,
     format_series,
     format_table,
+    format_trial_event,
+    progress_printer,
     results_to_series,
 )
-from repro.harness.saturation import find_saturation
+from repro.harness.saturation import (
+    find_saturation,
+    run_saturation_point,
+    saturation_trial_specs,
+)
 
 __all__ = [
     "DEFAULT_RATES",
     "ExperimentGrid",
     "ExperimentResult",
     "LatencyBreakdown",
+    "TrialCache",
+    "TrialRunner",
+    "TrialSpec",
+    "TrialTimeoutError",
     "UtilizationProbe",
     "ascii_chart",
     "attach_probe",
     "measure_breakdown",
     "fault_degradation_sweep",
+    "fault_trial_specs",
     "find_saturation",
+    "figure1_network",
     "figure3_network",
     "figure3_sweep",
     "format_series",
     "format_table",
+    "format_trial_event",
+    "load_trial_specs",
+    "progress_printer",
     "results_to_series",
     "run_experiment",
     "run_fault_point",
+    "run_grid_trial",
     "run_load_point",
+    "run_saturation_point",
+    "run_trials",
+    "saturation_trial_specs",
     "unloaded_latency",
 ]

@@ -5,6 +5,12 @@ load x seed) and aggregating.  :class:`ExperimentGrid` runs the cross
 product, keeps every :class:`~repro.harness.experiment.ExperimentResult`,
 aggregates across seeds, and writes plain CSV (no pandas dependency —
 the files load anywhere).
+
+Every (variant, rate, seed) cell run is an independent
+:class:`~repro.harness.parallel.TrialSpec`, so grids parallelize and
+cache like the other sweeps.  Parallel/cached execution needs the
+network factories to be module-level callables (lambdas still work for
+serial, uncached runs).
 """
 
 import csv
@@ -13,6 +19,35 @@ import itertools
 
 from repro.endpoint.traffic import UniformRandomTraffic
 from repro.harness.experiment import run_experiment
+from repro.harness.parallel import TrialRunner, TrialSpec
+
+
+def run_grid_trial(
+    factory,
+    rate,
+    seed=0,
+    message_words=20,
+    warmup_cycles=800,
+    measure_cycles=3000,
+    traffic_class=UniformRandomTraffic,
+    label="",
+):
+    """One grid cell run: module-level so worker pools can import it."""
+    network = factory(seed)
+    traffic = traffic_class(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=rate,
+        message_words=message_words,
+        seed=seed + 1,
+    )
+    return run_experiment(
+        network,
+        traffic,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        label=label,
+    )
 
 
 class GridCell:
@@ -41,7 +76,11 @@ class ExperimentGrid:
     :param factories: mapping variant-name -> network factory
         ``f(seed) -> MetroNetwork``.
     :param rates: injection rates to sweep.
-    :param seeds: seeds to replicate over (aggregated per cell).
+    :param seeds: seeds to replicate over (aggregated per cell).  The
+        grid honors these seeds verbatim — replicate seeds are an
+        explicit experimental axis here, unlike the sweep modules'
+        derived per-trial seed streams — so paired-seed comparisons
+        across variants keep working.
     """
 
     def __init__(
@@ -63,29 +102,49 @@ class ExperimentGrid:
         self.traffic_class = traffic_class
         self.cells = []
 
-    def run(self, progress=None):
-        """Execute the grid; returns the list of :class:`GridCell`."""
-        self.cells = []
+    def trial_specs(self):
+        """Every (variant, rate, seed) run as a :class:`TrialSpec`."""
+        specs = []
         for name, rate in itertools.product(self.factories, self.rates):
-            results = []
             for seed in self.seeds:
-                network = self.factories[name](seed)
-                traffic = self.traffic_class(
-                    n_endpoints=network.plan.n_endpoints,
-                    w=network.codec.w,
-                    rate=rate,
-                    message_words=self.message_words,
-                    seed=seed + 1,
+                specs.append(
+                    TrialSpec(
+                        runner="repro.harness.batch:run_grid_trial",
+                        params=dict(
+                            factory=self.factories[name],
+                            rate=rate,
+                            message_words=self.message_words,
+                            warmup_cycles=self.warmup_cycles,
+                            measure_cycles=self.measure_cycles,
+                            traffic_class=self.traffic_class,
+                            label="{}@{}".format(name, rate),
+                        ),
+                        seed=seed,
+                        label="{}@{} seed={}".format(name, rate, seed),
+                    )
                 )
-                result = run_experiment(
-                    network,
-                    traffic,
-                    warmup_cycles=self.warmup_cycles,
-                    measure_cycles=self.measure_cycles,
-                    label="{}@{}".format(name, rate),
-                )
-                results.append(result)
-                if progress is not None:
+        return specs
+
+    def run(self, progress=None, workers=1, cache_dir=None, runner=None):
+        """Execute the grid; returns the list of :class:`GridCell`.
+
+        ``progress`` keeps its original signature
+        ``f(name, rate, seed, result)``; with a worker pool it fires as
+        ordered results are collected rather than at completion time.
+        """
+        self.cells = []
+        specs = self.trial_specs()
+        if runner is None:
+            runner = TrialRunner(workers=workers, cache_dir=cache_dir)
+        flat = runner.run(specs)
+
+        per_seed = len(self.seeds)
+        for combo_index, (name, rate) in enumerate(
+            itertools.product(self.factories, self.rates)
+        ):
+            results = flat[combo_index * per_seed : (combo_index + 1) * per_seed]
+            if progress is not None:
+                for seed, result in zip(self.seeds, results):
                     progress(name, rate, seed, result)
             self.cells.append(
                 GridCell({"variant": name, "rate": rate}, results)

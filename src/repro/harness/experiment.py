@@ -139,6 +139,7 @@ def run_experiment(
     drain=True,
     label="",
     message_words=None,
+    deadline_cycles=None,
 ):
     """Warm up, measure, and summarize one workload on one network.
 
@@ -146,7 +147,15 @@ def run_experiment(
     time; statistics cover those submitted inside the window that
     eventually completed (``drain`` lets stragglers finish so the tail
     isn't censored).
+
+    ``deadline_cycles`` installs a hard engine deadline (relative to
+    the current cycle) covering the whole experiment including drain:
+    a trial that somehow exceeds it raises
+    :class:`~repro.sim.engine.EngineDeadlineError` instead of spinning
+    — the guard worker pools rely on to never hang on a runaway trial.
     """
+    if deadline_cycles is not None:
+        network.engine.set_deadline(network.engine.cycle + deadline_cycles)
     traffic.attach(network)
     network.run(warmup_cycles)
     start = network.engine.cycle

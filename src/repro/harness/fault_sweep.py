@@ -8,10 +8,12 @@ against networks with increasing numbers of dead wires/routers,
 reporting delivered throughput, latency and retry inflation.
 """
 
+from repro.core.random_source import derive_seed
 from repro.endpoint.traffic import UniformRandomTraffic
 from repro.faults.injector import FaultInjector, random_fault_scenario
 from repro.harness.experiment import run_experiment
 from repro.harness.load_sweep import figure3_network
+from repro.harness.parallel import TrialRunner, TrialSpec
 
 
 def run_fault_point(
@@ -53,20 +55,48 @@ def run_fault_point(
     )
 
 
-def fault_degradation_sweep(
+def fault_trial_specs(
     fault_levels=((0, 0), (4, 0), (8, 0), (16, 0), (4, 2), (8, 4)),
     rate=0.02,
     seed=0,
     **kwargs
 ):
-    """Latency/throughput at one load across increasing fault counts."""
+    """One :class:`TrialSpec` per fault level, seeded per level.
+
+    The seed path is ``("fault", links, routers, rate)`` so a level's
+    randomness is unchanged when levels are added or reordered.
+    """
     return [
-        run_fault_point(
-            n_dead_links=links,
-            n_dead_routers=routers,
-            rate=rate,
-            seed=seed,
-            **kwargs
+        TrialSpec(
+            runner="repro.harness.fault_sweep:run_fault_point",
+            params=dict(
+                n_dead_links=links, n_dead_routers=routers, rate=rate, **kwargs
+            ),
+            seed=derive_seed(seed, "fault", links, routers, rate),
+            label="links={} routers={}".format(links, routers),
         )
         for links, routers in fault_levels
     ]
+
+
+def fault_degradation_sweep(
+    fault_levels=((0, 0), (4, 0), (8, 0), (16, 0), (4, 2), (8, 4)),
+    rate=0.02,
+    seed=0,
+    workers=1,
+    cache_dir=None,
+    progress=None,
+    runner=None,
+    **kwargs
+):
+    """Latency/throughput at one load across increasing fault counts.
+
+    Levels are independent trials: ``workers`` parallelizes them and
+    ``cache_dir`` reuses already-measured levels across invocations.
+    """
+    specs = fault_trial_specs(
+        fault_levels=fault_levels, rate=rate, seed=seed, **kwargs
+    )
+    if runner is None:
+        runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    return runner.run(specs)

@@ -8,14 +8,21 @@ endpoint using one network input at a time.  The unloaded latency is
 28 clock cycles from injection to acknowledgment receipt.
 
 :func:`figure3_sweep` regenerates the curve: one
-:func:`~repro.harness.experiment.run_experiment` per injection rate,
-reporting (offered rate, delivered load, mean/median/p95 latency).
+:func:`~repro.harness.experiment.run_experiment` per injection rate.
+Each rate is an independent :class:`~repro.harness.parallel.TrialSpec`
+(seeded from the root seed via
+:func:`~repro.core.random_source.derive_seed`) executed by a shared
+:class:`~repro.harness.parallel.TrialRunner`, so the sweep can fan out
+across worker processes and reuse cached points while remaining
+bit-identical to a serial run.
 """
 
+from repro.core.random_source import derive_seed
 from repro.endpoint.traffic import UniformRandomTraffic
 from repro.harness.experiment import run_experiment
+from repro.harness.parallel import TrialRunner, TrialSpec
 from repro.network.builder import build_network
-from repro.network.topology import figure3_plan
+from repro.network.topology import figure1_plan, figure3_plan
 
 #: Injection probabilities swept by default: idle-endpoint start
 #: probability per cycle, from nearly unloaded to saturation.
@@ -32,6 +39,17 @@ def figure3_network(seed=0, fast_reclaim=True, **overrides):
     """
     return build_network(
         figure3_plan(), seed=seed, fast_reclaim=fast_reclaim, **overrides
+    )
+
+
+def figure1_network(seed=0, fast_reclaim=True, **overrides):
+    """The small Figure 1 network (16 endpoints): quick sweeps/tests.
+
+    Module-level (rather than a lambda in each caller) so trial specs
+    that reference it stay picklable and cacheable.
+    """
+    return build_network(
+        figure1_plan(), seed=seed, fast_reclaim=fast_reclaim, **overrides
     )
 
 
@@ -63,9 +81,44 @@ def run_load_point(
     return result
 
 
-def figure3_sweep(rates=DEFAULT_RATES, seed=0, **kwargs):
-    """The full latency-vs-load series, one result per rate."""
-    return [run_load_point(rate, seed=seed, **kwargs) for rate in rates]
+def load_trial_specs(rates=DEFAULT_RATES, seed=0, **kwargs):
+    """The sweep as :class:`TrialSpec` objects, one per rate.
+
+    Each trial's seed is ``derive_seed(seed, "load", rate)``: a pure
+    function of the root seed and the rate, independent of the trial's
+    position in the sweep and of which process executes it.
+    """
+    return [
+        TrialSpec(
+            runner="repro.harness.load_sweep:run_load_point",
+            params=dict(rate=rate, **kwargs),
+            seed=derive_seed(seed, "load", rate),
+            label="rate={}".format(rate),
+        )
+        for rate in rates
+    ]
+
+
+def figure3_sweep(
+    rates=DEFAULT_RATES,
+    seed=0,
+    workers=1,
+    cache_dir=None,
+    progress=None,
+    runner=None,
+    **kwargs
+):
+    """The full latency-vs-load series, one result per rate.
+
+    ``workers`` > 1 fans the rates out across a process pool;
+    ``cache_dir`` enables the on-disk trial cache.  Pass a prebuilt
+    :class:`TrialRunner` as ``runner`` to share one cache/stats object
+    across several sweeps (it overrides the other execution knobs).
+    """
+    specs = load_trial_specs(rates=rates, seed=seed, **kwargs)
+    if runner is None:
+        runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    return runner.run(specs)
 
 
 def unloaded_latency(seed=0, samples=24, network_factory=figure3_network,

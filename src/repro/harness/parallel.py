@@ -1,0 +1,456 @@
+"""Parallel trial execution: worker pools, seed streams, result cache.
+
+Every sweep in :mod:`repro.harness` is a set of *independent* trials —
+one network, one workload, one measured window — whose results are
+aggregated afterwards.  That structure is embarrassingly parallel, and
+this module is the shared execution layer that exploits it:
+
+* :class:`TrialSpec` — a picklable description of one trial: a runner
+  function (named by ``"module:function"`` so worker processes import
+  it fresh), its parameters, and the trial's derived seed.
+* :class:`TrialCache` — an on-disk result store keyed by a content
+  hash of (runner, parameters, seed, code version), so re-running a
+  sweep skips every point that has already been computed.
+* :class:`TrialRunner` — executes a list of specs, serially
+  (``workers=1``) or on a ``multiprocessing`` pool, consulting the
+  cache first and reporting per-trial progress/timing events.
+
+Determinism: each trial receives its own seed derived from the sweep's
+root seed via :func:`repro.core.random_source.derive_seed`, and every
+trial builds its network/workload from that seed alone.  No state is
+shared between trials, so a pool of workers and a serial loop produce
+bit-identical results — the serial-vs-parallel equivalence test in
+``tests/harness/test_parallel.py`` pins this.
+
+Cache invalidation: the cache key includes a fingerprint of the
+installed ``repro`` source tree, so any code change invalidates every
+cached trial.  ``REPRO_CODE_VERSION`` overrides the fingerprint (for
+benchmarking cache behaviour itself).  See ``docs/parallel.md``.
+"""
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+
+
+#: Sentinel for a cache lookup that found nothing.
+CACHE_MISS = object()
+
+
+class TrialTimeoutError(RuntimeError):
+    """A worker trial exceeded the runner's wall-clock timeout.
+
+    The pool is terminated before this is raised, so a stuck trial
+    never leaves orphaned workers behind.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization (hashing parameters that may include callables)
+# ---------------------------------------------------------------------------
+
+
+def _canonicalize(value, opaque):
+    """A JSON-able canonical form of ``value`` for content hashing.
+
+    Callables and classes are named by ``module:qualname``; anything
+    without a stable importable identity (lambdas, closures, instances
+    of arbitrary classes) is rendered opaquely and flips ``opaque[0]``
+    so the spec is marked uncacheable rather than cached under an
+    ambiguous key.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v, opaque) for v in value]
+    if isinstance(value, dict):
+        return [
+            [_canonicalize(k, opaque), _canonicalize(v, opaque)]
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        ]
+    if callable(value):
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if module and qualname and "<" not in qualname:
+            return "callable:{}:{}".format(module, qualname)
+        opaque[0] = True
+        return "opaque-callable:{}".format(qualname or repr(value))
+    opaque[0] = True
+    return "opaque:{}".format(repr(value))
+
+
+class TrialSpec:
+    """One independent trial, ready to run anywhere.
+
+    :param runner: the trial function — either a ``"module:function"``
+        string (preferred: always picklable, cache keys are stable) or
+        a module-level callable.  It is invoked as
+        ``runner(seed=seed, **params)`` and must return a picklable
+        result.
+    :param params: keyword arguments for the runner.  Values may
+        include module-level callables (network factories, traffic
+        classes); lambdas work in serial runs but make the spec
+        uncacheable and unpicklable.
+    :param seed: this trial's seed — derive it from the sweep's root
+        seed with :func:`repro.core.random_source.derive_seed`.
+    :param label: display name for progress output.
+    """
+
+    def __init__(self, runner, params=None, seed=0, label=None):
+        self.runner = runner
+        self.params = dict(params or {})
+        self.seed = seed
+        self.label = label if label is not None else self._default_label()
+
+    def _default_label(self):
+        name = self.runner if isinstance(self.runner, str) else getattr(
+            self.runner, "__name__", repr(self.runner)
+        )
+        return "{}(seed={})".format(name.rsplit(":", 1)[-1], self.seed)
+
+    def resolve_runner(self):
+        """The runner callable (importing it if named by string)."""
+        if isinstance(self.runner, str):
+            module_name, _, attr = self.runner.partition(":")
+            if not attr:
+                raise ValueError(
+                    "runner string must be 'module:function', got {!r}".format(
+                        self.runner
+                    )
+                )
+            return getattr(importlib.import_module(module_name), attr)
+        return self.runner
+
+    def canonical(self):
+        """(canonical structure, cacheable flag) for this spec."""
+        opaque = [False]
+        structure = {
+            "runner": _canonicalize(
+                self.runner if isinstance(self.runner, str)
+                else self.resolve_runner(),
+                opaque,
+            ),
+            "params": _canonicalize(self.params, opaque),
+            "seed": self.seed,
+        }
+        return structure, not opaque[0]
+
+    def cacheable(self):
+        """True when every parameter has a stable hashable identity."""
+        return self.canonical()[1]
+
+    def fingerprint(self, code_version=None):
+        """Cache key: sha256 over (code version, runner, params, seed)."""
+        structure, _cacheable = self.canonical()
+        structure["code"] = (
+            code_version if code_version is not None else repro_code_version()
+        )
+        blob = json.dumps(structure, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __repr__(self):
+        return "<TrialSpec {} seed={}>".format(self.label, self.seed)
+
+
+def execute_trial(spec):
+    """Run one spec; returns ``(result, elapsed_seconds)``.
+
+    Module-level so worker processes can unpickle references to it.
+    """
+    start = time.perf_counter()
+    runner = spec.resolve_runner()
+    result = runner(seed=spec.seed, **spec.params)
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Code-version fingerprint (cache invalidation on source change)
+# ---------------------------------------------------------------------------
+
+_CODE_VERSION = None
+
+
+def repro_code_version():
+    """A fingerprint of the installed ``repro`` source tree.
+
+    sha256 over every ``.py`` file's path and contents (plus the
+    package version), computed once per process.  Any source edit
+    therefore invalidates the whole trial cache — stale results can
+    never masquerade as current ones.  Set ``REPRO_CODE_VERSION`` to
+    pin the fingerprint explicitly.
+    """
+    global _CODE_VERSION
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _CODE_VERSION is None:
+        import repro
+
+        digest = hashlib.sha256()
+        digest.update(getattr(repro, "__version__", "?").encode())
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+# ---------------------------------------------------------------------------
+# On-disk trial cache
+# ---------------------------------------------------------------------------
+
+
+class TrialCache:
+    """Pickled trial results under ``root/<key[:2]>/<key>.pkl``.
+
+    Keys are :meth:`TrialSpec.fingerprint` hex digests.  Writes are
+    atomic (temp file + rename) so concurrent sweeps sharing a cache
+    directory never read torn files; unreadable entries are treated as
+    misses and recomputed.
+    """
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key):
+        """The cached result for ``key``, or :data:`CACHE_MISS`."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            # Any unreadable entry — truncated write, foreign pickle,
+            # renamed class — is simply a miss; the trial recomputes.
+            self.misses += 1
+            return CACHE_MISS
+        self.hits += 1
+        return result
+
+    def put(self, key, result):
+        """Store ``result`` under ``key`` (atomically)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self):
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for f in filenames if f.endswith(".pkl"))
+        return count
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+class TrialEvent:
+    """One progress report: trial ``index`` of ``total`` finished.
+
+    ``source`` is ``"executed"`` or ``"cache"``; ``seconds`` is the
+    trial's own wall-clock time (0.0 for cache hits).
+    """
+
+    __slots__ = ("index", "total", "label", "seconds", "source")
+
+    def __init__(self, index, total, label, seconds, source):
+        self.index = index
+        self.total = total
+        self.label = label
+        self.seconds = seconds
+        self.source = source
+
+    @property
+    def cached(self):
+        return self.source == "cache"
+
+    def __repr__(self):
+        return "<TrialEvent {}/{} {} {}>".format(
+            self.index + 1, self.total, self.label, self.source
+        )
+
+
+class TrialStats:
+    """Counters for one :meth:`TrialRunner.run` batch (cumulative)."""
+
+    def __init__(self):
+        self.executed = 0
+        self.cached = 0
+        self.seconds = 0.0
+
+    def __repr__(self):
+        return "<TrialStats executed={} cached={} {:.2f}s>".format(
+            self.executed, self.cached, self.seconds
+        )
+
+
+def _preferred_start_method():
+    # fork is markedly cheaper and inherits sys.path (so specs built
+    # from test-local factories resolve); fall back to spawn where fork
+    # does not exist (Windows) — specs must then be import-resolvable.
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class TrialRunner:
+    """Execute :class:`TrialSpec` lists with caching and parallelism.
+
+    :param workers: 1 = run in-process (no pool, no pickling
+        requirements); N>1 = fan out across a worker pool.
+    :param cache_dir: directory for a :class:`TrialCache`; None
+        disables caching.
+    :param progress: optional callback receiving a :class:`TrialEvent`
+        as each trial completes (in submission order).
+    :param trial_timeout: wall-clock seconds allowed per parallel
+        trial; exceeding it terminates the pool and raises
+        :class:`TrialTimeoutError`.  (Serial trials are bounded by the
+        engine's own deadline guard instead.)
+    :param start_method: multiprocessing start method override.
+    """
+
+    def __init__(
+        self,
+        workers=1,
+        cache_dir=None,
+        progress=None,
+        trial_timeout=None,
+        start_method=None,
+    ):
+        self.workers = max(1, int(workers))
+        self.cache = TrialCache(cache_dir) if cache_dir else None
+        self.progress = progress
+        self.trial_timeout = trial_timeout
+        self.start_method = start_method
+        self.stats = TrialStats()
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, specs):
+        """Run every spec; returns results in spec order.
+
+        Cached trials are served without execution; the remainder run
+        serially or on the pool.  Results are identical either way
+        because each trial is a pure function of its spec.
+        """
+        specs = list(specs)
+        total = len(specs)
+        results = [None] * total
+        pending = []
+        keys = {}
+        for index, spec in enumerate(specs):
+            if self.cache is not None and spec.cacheable():
+                key = spec.fingerprint()
+                keys[index] = key
+                hit = self.cache.get(key)
+                if hit is not CACHE_MISS:
+                    results[index] = hit
+                    self.stats.cached += 1
+                    self._emit(TrialEvent(index, total, spec.label, 0.0, "cache"))
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.workers == 1:
+                self._run_serial(specs, pending, results, keys, total)
+            else:
+                self._run_pool(specs, pending, results, keys, total)
+        return results
+
+    def run_one(self, spec):
+        """Run a single spec (cache-aware); returns its result."""
+        return self.run([spec])[0]
+
+    # -- internals -------------------------------------------------------
+
+    def _emit(self, event):
+        if self.progress is not None:
+            self.progress(event)
+
+    def _finish(self, index, total, spec, result, elapsed, keys):
+        self.stats.executed += 1
+        self.stats.seconds += elapsed
+        if self.cache is not None and index in keys:
+            self.cache.put(keys[index], result)
+        self._emit(TrialEvent(index, total, spec.label, elapsed, "executed"))
+
+    def _run_serial(self, specs, pending, results, keys, total):
+        for index in pending:
+            result, elapsed = execute_trial(specs[index])
+            results[index] = result
+            self._finish(index, total, specs[index], result, elapsed, keys)
+
+    def _run_pool(self, specs, pending, results, keys, total):
+        for index in pending:
+            try:
+                pickle.dumps(specs[index])
+            except Exception as error:
+                raise ValueError(
+                    "trial {!r} is not picklable and cannot run on a "
+                    "worker pool (use module-level factories, or "
+                    "workers=1): {}".format(specs[index].label, error)
+                )
+        context = multiprocessing.get_context(
+            self.start_method or _preferred_start_method()
+        )
+        pool = context.Pool(processes=min(self.workers, len(pending)))
+        try:
+            handles = [
+                (index, pool.apply_async(execute_trial, (specs[index],)))
+                for index in pending
+            ]
+            for index, handle in handles:
+                try:
+                    result, elapsed = handle.get(timeout=self.trial_timeout)
+                except multiprocessing.TimeoutError:
+                    pool.terminate()
+                    raise TrialTimeoutError(
+                        "trial {!r} exceeded the {}s wall-clock "
+                        "timeout".format(specs[index].label, self.trial_timeout)
+                    )
+                results[index] = result
+                self._finish(index, total, specs[index], result, elapsed, keys)
+        finally:
+            pool.terminate()
+            pool.join()
+
+
+def run_trials(
+    specs, workers=1, cache_dir=None, progress=None, trial_timeout=None
+):
+    """One-shot convenience: build a :class:`TrialRunner` and run."""
+    runner = TrialRunner(
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
+        trial_timeout=trial_timeout,
+    )
+    return runner.run(specs)

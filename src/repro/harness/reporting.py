@@ -1,8 +1,41 @@
 """Plain-text table/series formatting for benchmark output.
 
 Benchmarks print the same rows/series the paper reports; these helpers
-keep that output consistent and readable in a terminal.
+keep that output consistent and readable in a terminal.  They also
+render the parallel runner's progress events
+(:func:`format_trial_event` / :func:`progress_printer`) so sweeps can
+narrate per-trial completion and cache hits.
 """
+
+import sys
+
+
+def format_trial_event(event):
+    """One progress line for a :class:`~repro.harness.parallel.TrialEvent`.
+
+    ``[ 3/8] rate=0.01                 2.13s`` (or ``cached`` for a
+    trial served from the result cache).
+    """
+    width = len(str(event.total))
+    timing = "cached" if event.cached else "{:.2f}s".format(event.seconds)
+    return "[{:>{w}}/{}] {:<28} {}".format(
+        event.index + 1, event.total, event.label, timing, w=width
+    )
+
+
+def progress_printer(stream=None):
+    """A :class:`TrialRunner` progress callback that prints each event.
+
+    Defaults to stderr so progress chatter never corrupts the result
+    tables/CSV a sweep writes to stdout.
+    """
+
+    def _print(event):
+        out = stream if stream is not None else sys.stderr
+        out.write(format_trial_event(event) + "\n")
+        out.flush()
+
+    return _print
 
 
 def format_table(rows, columns=None, title=None, floatfmt="{:.1f}"):

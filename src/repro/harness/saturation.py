@@ -6,11 +6,78 @@ the injection rate geometrically until delivered throughput stops
 improving, then reports the saturation throughput and the rate at
 which it was reached — useful for comparing network variants (size,
 dilation, reclamation mode) by a single number.
+
+The candidate rates are known up front (``start_rate`` growing by
+``growth`` for ``max_steps``), so each is an independent
+:class:`~repro.harness.parallel.TrialSpec`.  A serial runner evaluates
+them lazily with early stopping; a parallel runner measures all
+candidates concurrently and then applies the *same* stopping rule to
+the full series, so both modes return identical results (the parallel
+mode merely spends extra work past the knee in exchange for latency).
 """
 
-from repro.endpoint.traffic import UniformRandomTraffic
-from repro.harness.experiment import run_experiment
-from repro.harness.load_sweep import figure3_network
+from repro.core.random_source import derive_seed
+from repro.harness.load_sweep import figure3_network, run_load_point
+from repro.harness.parallel import TrialRunner, TrialSpec
+
+
+def run_saturation_point(rate, seed=0, **kwargs):
+    """One saturation-search measurement (a relabeled load point)."""
+    result = run_load_point(rate, seed=seed, **kwargs)
+    result.label = "rate={:.4g}".format(rate)
+    return result
+
+
+def saturation_trial_specs(
+    start_rate=0.01,
+    growth=2.0,
+    max_steps=8,
+    seed=0,
+    network_factory=figure3_network,
+    message_words=20,
+    warmup_cycles=800,
+    measure_cycles=3000,
+):
+    """The geometric rate ladder as :class:`TrialSpec` objects."""
+    specs = []
+    rate = start_rate
+    for _step in range(max_steps):
+        specs.append(
+            TrialSpec(
+                runner="repro.harness.saturation:run_saturation_point",
+                params=dict(
+                    rate=rate,
+                    network_factory=network_factory,
+                    message_words=message_words,
+                    warmup_cycles=warmup_cycles,
+                    measure_cycles=measure_cycles,
+                ),
+                seed=derive_seed(seed, "saturation", rate),
+                label="rate={:.4g}".format(rate),
+            )
+        )
+        rate *= growth
+    return specs
+
+
+def _saturation_index(results, tolerance):
+    """Index of the first flattening point, or None if still growing.
+
+    The rule the serial loop has always used: the curve is saturated at
+    point ``k`` when point ``k+1`` improves delivered load by less than
+    ``tolerance`` (points with zero delivered load never saturate —
+    the network hasn't started carrying traffic yet).
+    """
+    for k in range(1, len(results)):
+        previous, current = results[k - 1], results[k]
+        if previous.delivered_load <= 0:
+            continue
+        gain = (
+            current.delivered_load - previous.delivered_load
+        ) / previous.delivered_load
+        if gain < tolerance:
+            return k - 1
+    return None
 
 
 def find_saturation(
@@ -23,41 +90,44 @@ def find_saturation(
     message_words=20,
     warmup_cycles=800,
     measure_cycles=3000,
+    workers=1,
+    cache_dir=None,
+    progress=None,
+    runner=None,
 ):
     """Grow the injection rate until throughput gains fall below
     ``tolerance``; returns ``(saturation_result, all_results)``.
 
     The saturation result is the first point whose delivered load is
     within ``tolerance`` of its successor's (the curve has flattened).
+    With ``workers`` > 1 all candidate rates are measured concurrently
+    and the result series is truncated at the same stopping point the
+    serial search would have reached, so the two modes agree exactly.
     """
+    specs = saturation_trial_specs(
+        start_rate=start_rate,
+        growth=growth,
+        max_steps=max_steps,
+        seed=seed,
+        network_factory=network_factory,
+        message_words=message_words,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+    )
+    if runner is None:
+        runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+
+    if runner.workers > 1:
+        all_results = runner.run(specs)
+        index = _saturation_index(all_results, tolerance)
+        if index is None:
+            return all_results[-1], all_results
+        return all_results[index], all_results[: index + 2]
+
     results = []
-    rate = start_rate
-    for _step in range(max_steps):
-        network = network_factory(seed=seed)
-        traffic = UniformRandomTraffic(
-            n_endpoints=network.plan.n_endpoints,
-            w=network.codec.w,
-            rate=rate,
-            message_words=message_words,
-            seed=seed + 1,
-        )
-        result = run_experiment(
-            network,
-            traffic,
-            warmup_cycles=warmup_cycles,
-            measure_cycles=measure_cycles,
-            label="rate={:.4g}".format(rate),
-        )
-        results.append(result)
-        if len(results) >= 2:
-            previous, current = results[-2], results[-1]
-            if previous.delivered_load <= 0:
-                rate *= growth
-                continue
-            gain = (
-                current.delivered_load - previous.delivered_load
-            ) / previous.delivered_load
-            if gain < tolerance:
-                return previous, results
-        rate *= growth
+    for spec in specs:
+        results.append(runner.run_one(spec))
+        index = _saturation_index(results, tolerance)
+        if index is not None:
+            return results[index], results
     return results[-1], results

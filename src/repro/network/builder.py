@@ -56,6 +56,8 @@ class MetroNetwork:
 
         ``settle`` extra cycles drain channel pipelines after the last
         component goes idle.  Returns True if quiet within the budget.
+        ``max_cycles=0`` is a pure check: it reports quiescence without
+        advancing the clock at all (no settle cycles either).
         """
 
         def quiet(engine):
@@ -69,7 +71,7 @@ class MetroNetwork:
             )
 
         ok = self.engine.run_until(quiet, max_cycles)
-        if ok:
+        if ok and max_cycles > 0:
             self.engine.run(settle)
         return ok
 

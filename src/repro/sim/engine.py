@@ -1,6 +1,15 @@
 """The two-phase synchronous simulation engine."""
 
 
+class EngineDeadlineError(RuntimeError):
+    """An :class:`Engine` tried to advance past its configured deadline.
+
+    Raised by :meth:`Engine.step` so a runaway simulation (a livelocked
+    trial inside a worker process, a predicate that can never fire)
+    terminates with a diagnosable error instead of spinning forever.
+    """
+
+
 class Engine:
     """Clocks a collection of components and channels in lockstep.
 
@@ -13,13 +22,25 @@ class Engine:
     Because reads see pre-tick state and writes are staged, the order in
     which components tick is irrelevant — the simulation is a faithful
     model of a fully synchronous design.
+
+    Two guards bound an engine's execution:
+
+    * :meth:`stop` requests a cooperative stop: the current ``run`` /
+      ``run_until`` loop finishes its cycle and returns early.  Safe to
+      call from a component's ``tick`` or a pre-cycle hook.
+    * :meth:`set_deadline` installs a hard cycle ceiling: stepping at
+      or past it raises :class:`EngineDeadlineError`.  Worker processes
+      use this so a runaway trial fails loudly instead of hanging a
+      pool.
     """
 
     def __init__(self):
         self.cycle = 0
         self.components = []
         self.channels = []
+        self.deadline = None
         self._pre_cycle_hooks = []
+        self._stop_requested = False
 
     def add_component(self, component):
         """Register a clocked component; returns it for chaining."""
@@ -39,8 +60,40 @@ class Engine:
         """
         self._pre_cycle_hooks.append(hook)
 
+    def stop(self):
+        """Request that the innermost ``run``/``run_until`` loop return.
+
+        The request is consumed by the next ``run``/``run_until`` call:
+        each loop clears it on entry, so a stop only ever cancels the
+        run during which it was raised.
+        """
+        self._stop_requested = True
+
+    def set_deadline(self, cycle):
+        """Refuse to step at or beyond absolute cycle ``cycle``.
+
+        ``None`` clears the deadline.  The deadline is checked at the
+        top of :meth:`step`, which raises :class:`EngineDeadlineError` —
+        the simulation never silently runs past it.
+        """
+        if cycle is not None and cycle < self.cycle:
+            raise ValueError(
+                "deadline {} is already in the past (cycle {})".format(
+                    cycle, self.cycle
+                )
+            )
+        self.deadline = cycle
+
+    def clear_deadline(self):
+        """Remove any cycle deadline."""
+        self.deadline = None
+
     def step(self):
         """Advance the simulation by exactly one clock cycle."""
+        if self.deadline is not None and self.cycle >= self.deadline:
+            raise EngineDeadlineError(
+                "engine reached its deadline of {} cycles".format(self.deadline)
+            )
         for hook in self._pre_cycle_hooks:
             hook(self)
         cycle = self.cycle
@@ -51,19 +104,37 @@ class Engine:
         self.cycle = cycle + 1
 
     def run(self, cycles):
-        """Advance the simulation by ``cycles`` clock cycles."""
+        """Advance the simulation by up to ``cycles`` clock cycles.
+
+        Returns early (without error) if a component calls :meth:`stop`
+        mid-run; ``cycles=0`` performs no steps at all.
+        """
+        self._stop_requested = False
         for _ in range(cycles):
             self.step()
+            if self._stop_requested:
+                break
 
     def run_until(self, predicate, max_cycles=1000000):
         """Step until ``predicate(engine)`` is true or the cycle budget ends.
 
         Returns True if the predicate fired, False on budget exhaustion.
         The predicate is evaluated *before* each step so a condition
-        that already holds costs zero cycles.
+        that already holds costs zero cycles; ``max_cycles=0``
+        consistently means "check, never step" — the predicate is
+        evaluated exactly once and no cycle is consumed.  A
+        :meth:`stop` request raised during the run ends it after the
+        current cycle, returning the predicate's value at that point.
         """
+        if max_cycles < 0:
+            raise ValueError(
+                "max_cycles must be >= 0, got {}".format(max_cycles)
+            )
+        self._stop_requested = False
         for _ in range(max_cycles):
             if predicate(self):
                 return True
             self.step()
-        return predicate(self)
+            if self._stop_requested:
+                break
+        return bool(predicate(self))

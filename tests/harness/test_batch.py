@@ -4,6 +4,8 @@ import csv
 import io
 
 from repro.harness.batch import ExperimentGrid
+from repro.harness.load_sweep import figure1_network
+from repro.harness.parallel import TrialRunner
 from repro.network.builder import build_network
 from repro.network.topology import figure1_plan
 
@@ -80,3 +82,45 @@ def test_csv_written_to_file(tmp_path):
     text = grid.to_csv(str(path))
     on_disk = open(str(path), newline="").read()
     assert on_disk == text
+
+
+def _picklable_grid(**kwargs):
+    """A grid whose factories are module-level (pool/cache compatible)."""
+    defaults = dict(
+        factories={"figure1": figure1_network},
+        rates=(0.01, 0.05),
+        seeds=(1, 2),
+        message_words=6,
+        warmup_cycles=150,
+        measure_cycles=500,
+    )
+    defaults.update(kwargs)
+    return ExperimentGrid(**defaults)
+
+
+def test_trial_specs_cover_cross_product():
+    grid = _picklable_grid()
+    specs = grid.trial_specs()
+    assert len(specs) == 1 * 2 * 2  # variants x rates x seeds
+    assert all(spec.cacheable() for spec in specs)
+    assert len({spec.fingerprint() for spec in specs}) == len(specs)
+
+
+def test_grid_parallel_matches_serial():
+    serial = _picklable_grid().run(workers=1)
+    parallel = _picklable_grid().run(workers=2)
+    for cell_s, cell_p in zip(serial, parallel):
+        assert cell_s.params == cell_p.params
+        for r_s, r_p in zip(cell_s.results, cell_p.results):
+            assert r_s.as_dict() == r_p.as_dict()
+
+
+def test_grid_run_uses_cache(tmp_path):
+    first = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    _picklable_grid().run(runner=first)
+    assert first.stats.executed == 4
+    second = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    cells = _picklable_grid().run(runner=second)
+    assert second.stats.executed == 0
+    assert second.stats.cached == 4
+    assert len(cells) == 2

@@ -1,0 +1,312 @@
+"""The parallel trial runner: equivalence, caching, specs, timeouts."""
+
+import time
+
+import pytest
+
+from repro.core.random_source import SeedStream, derive_seed
+from repro.harness.fault_sweep import fault_degradation_sweep
+from repro.harness.load_sweep import figure1_network, figure3_sweep, load_trial_specs
+from repro.harness.parallel import (
+    CACHE_MISS,
+    TrialCache,
+    TrialRunner,
+    TrialSpec,
+    TrialTimeoutError,
+    repro_code_version,
+    run_trials,
+)
+from repro.harness.reporting import format_trial_event
+from repro.harness.saturation import find_saturation
+
+SWEEP_KW = dict(
+    network_factory=figure1_network,
+    message_words=6,
+    warmup_cycles=150,
+    measure_cycles=500,
+)
+
+
+def _result_bytes(results):
+    """Byte-exact serialization of a sweep's full statistics.
+
+    JSON rather than pickle: pickle's memo encodes object *identity*
+    (strings shared in-process but distinct after a worker round-trip),
+    which would flag equal values as different bytes.
+    """
+    import json
+
+    return json.dumps(
+        [
+            [r.as_dict(), r._latencies.tolist(), r._attempts.tolist(),
+             sorted(r.attempt_failures.items())]
+            for r in results
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+def _sleepy_trial(seconds, seed=0):
+    time.sleep(seconds)
+    return seed
+
+
+def _echo_trial(value=0, seed=0):
+    return (value, seed)
+
+
+# ---------------------------------------------------------------------------
+# Seed streams
+# ---------------------------------------------------------------------------
+
+
+def test_derive_seed_is_deterministic_and_path_sensitive():
+    assert derive_seed(3, "load", 0.04) == derive_seed(3, "load", 0.04)
+    assert derive_seed(3, "load", 0.04) != derive_seed(4, "load", 0.04)
+    assert derive_seed(3, "load", 0.04) != derive_seed(3, "load", 0.08)
+    assert derive_seed(3, "load", 0.04) != derive_seed(3, "fault", 0.04)
+
+
+def test_derive_seed_position_independent():
+    # A trial's seed does not depend on what else is in the sweep.
+    sparse = load_trial_specs(rates=(0.04,), seed=3)
+    dense = load_trial_specs(rates=(0.002, 0.04, 0.32), seed=3)
+    assert sparse[0].seed == dense[1].seed
+
+
+def test_seed_stream_children():
+    stream = SeedStream(7)
+    assert stream.seed("a", 1) == SeedStream(7).seed("a", 1)
+    child = stream.child("a")
+    assert child.root == stream.seed("a")
+    assert stream.stream("x").bits(16) == stream.stream("x").bits(16)
+
+
+# ---------------------------------------------------------------------------
+# Trial specs
+# ---------------------------------------------------------------------------
+
+
+def test_spec_fingerprint_stable_and_parameter_sensitive():
+    spec = TrialSpec("repro.harness.load_sweep:run_load_point",
+                     params=dict(rate=0.01), seed=5)
+    same = TrialSpec("repro.harness.load_sweep:run_load_point",
+                     params=dict(rate=0.01), seed=5)
+    assert spec.fingerprint() == same.fingerprint()
+    other_rate = TrialSpec("repro.harness.load_sweep:run_load_point",
+                           params=dict(rate=0.02), seed=5)
+    other_seed = TrialSpec("repro.harness.load_sweep:run_load_point",
+                           params=dict(rate=0.01), seed=6)
+    assert spec.fingerprint() != other_rate.fingerprint()
+    assert spec.fingerprint() != other_seed.fingerprint()
+
+
+def test_spec_fingerprint_includes_code_version():
+    spec = TrialSpec("repro.harness.load_sweep:run_load_point",
+                     params=dict(rate=0.01), seed=5)
+    assert spec.fingerprint(code_version="a") != spec.fingerprint(code_version="b")
+
+
+def test_module_level_callables_are_cacheable_lambdas_are_not():
+    good = TrialSpec("repro.harness.batch:run_grid_trial",
+                     params=dict(factory=figure1_network, rate=0.01))
+    assert good.cacheable()
+    bad = TrialSpec("repro.harness.batch:run_grid_trial",
+                    params=dict(factory=lambda seed: None, rate=0.01))
+    assert not bad.cacheable()
+
+
+def test_code_version_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+    assert repro_code_version() == "pinned"
+    monkeypatch.delenv("REPRO_CODE_VERSION")
+    fingerprint = repro_code_version()
+    assert len(fingerprint) == 64 and fingerprint != "pinned"
+
+
+def test_string_runner_resolves():
+    spec = TrialSpec("repro.harness.load_sweep:run_load_point")
+    from repro.harness.load_sweep import run_load_point
+
+    assert spec.resolve_runner() is run_load_point
+    with pytest.raises(ValueError):
+        TrialSpec("no-colon-here").resolve_runner()
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel equivalence (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_load_sweep_parallel_matches_serial_byte_identical():
+    kw = dict(rates=(0.01, 0.03, 0.06), seed=9, **SWEEP_KW)
+    serial = figure3_sweep(workers=1, **kw)
+    parallel = figure3_sweep(workers=4, **kw)
+    assert _result_bytes(serial) == _result_bytes(parallel)
+
+
+def test_fault_sweep_parallel_matches_serial():
+    kw = dict(fault_levels=((0, 0), (2, 0)), rate=0.02, seed=5, **SWEEP_KW)
+    serial = fault_degradation_sweep(workers=1, **kw)
+    parallel = fault_degradation_sweep(workers=2, **kw)
+    assert _result_bytes(serial) == _result_bytes(parallel)
+
+
+def test_saturation_parallel_matches_serial():
+    kw = dict(
+        network_factory=figure1_network,
+        start_rate=0.02,
+        growth=3.0,
+        max_steps=4,
+        seed=2,
+        message_words=8,
+        warmup_cycles=200,
+        measure_cycles=800,
+    )
+    sat_serial, serial = find_saturation(workers=1, **kw)
+    sat_parallel, parallel = find_saturation(workers=2, **kw)
+    assert _result_bytes(serial) == _result_bytes(parallel)
+    assert sat_serial.label == sat_parallel.label
+
+
+@pytest.mark.slow
+def test_large_sweep_parallel_matches_serial_byte_identical():
+    """Scaled-up equivalence check; deselected by default (-m 'not slow')."""
+    kw = dict(
+        rates=(0.005, 0.01, 0.02, 0.04, 0.08, 0.16),
+        seed=3,
+        network_factory=figure1_network,
+        message_words=8,
+        warmup_cycles=500,
+        measure_cycles=2000,
+    )
+    serial = figure3_sweep(workers=1, **kw)
+    parallel = figure3_sweep(workers=4, **kw)
+    assert _result_bytes(serial) == _result_bytes(parallel)
+
+
+def test_sweep_results_unchanged_by_rerun():
+    kw = dict(rates=(0.02,), seed=11, **SWEEP_KW)
+    assert _result_bytes(figure3_sweep(**kw)) == _result_bytes(figure3_sweep(**kw))
+
+
+# ---------------------------------------------------------------------------
+# Caching
+# ---------------------------------------------------------------------------
+
+
+def test_repeated_sweep_hits_cache(tmp_path):
+    kw = dict(rates=(0.01, 0.04), seed=9, **SWEEP_KW)
+    first = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    baseline = figure3_sweep(runner=first, **kw)
+    assert first.stats.executed == 2
+    assert first.stats.cached == 0
+
+    second = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    replay = figure3_sweep(runner=second, **kw)
+    assert second.stats.executed == 0  # nothing recomputed
+    assert second.stats.cached == 2
+    assert _result_bytes(baseline) == _result_bytes(replay)
+
+
+def test_cache_distinguishes_seeds_and_parameters(tmp_path):
+    runner = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    figure3_sweep(runner=runner, rates=(0.01,), seed=9, **SWEEP_KW)
+    figure3_sweep(runner=runner, rates=(0.01,), seed=10, **SWEEP_KW)
+    figure3_sweep(runner=runner, rates=(0.02,), seed=9, **SWEEP_KW)
+    assert runner.stats.executed == 3
+    assert runner.stats.cached == 0
+
+
+def test_parallel_run_populates_and_uses_cache(tmp_path):
+    kw = dict(rates=(0.01, 0.04), seed=9, **SWEEP_KW)
+    first = TrialRunner(workers=2, cache_dir=str(tmp_path))
+    figure3_sweep(runner=first, **kw)
+    assert first.stats.executed == 2
+
+    second = TrialRunner(workers=2, cache_dir=str(tmp_path))
+    second_results = figure3_sweep(runner=second, **kw)
+    assert second.stats.executed == 0
+    assert second.stats.cached == 2
+    assert len(second_results) == 2
+
+
+def test_corrupt_cache_entry_is_recomputed(tmp_path):
+    cache = TrialCache(str(tmp_path))
+    spec = TrialSpec(__name__ + ":_echo_trial", params=dict(value=1), seed=2)
+    key = spec.fingerprint()
+    cache.put(key, "good")
+    assert cache.get(key) == "good"
+    with open(cache._path(key), "wb") as handle:
+        handle.write(b"\x80garbage")
+    assert cache.get(key) is CACHE_MISS
+    runner = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    assert runner.run([spec]) == [(1, 2)]
+    assert runner.stats.executed == 1
+
+
+def test_uncacheable_specs_bypass_cache(tmp_path):
+    runner = TrialRunner(workers=1, cache_dir=str(tmp_path))
+    spec = TrialSpec(lambda seed: seed + 1, seed=1)
+    assert runner.run([spec]) == [2]
+    assert runner.run([spec]) == [2]
+    assert runner.stats.executed == 2  # never cached
+    assert len(runner.cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Runner mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_results_preserve_spec_order():
+    specs = [
+        TrialSpec(__name__ + ":_echo_trial", params=dict(value=v), seed=v)
+        for v in range(6)
+    ]
+    assert run_trials(specs, workers=3) == [(v, v) for v in range(6)]
+
+
+def test_progress_events_fire_in_order(tmp_path):
+    events = []
+    runner = TrialRunner(
+        workers=1, cache_dir=str(tmp_path), progress=events.append
+    )
+    specs = [
+        TrialSpec(__name__ + ":_echo_trial", params=dict(value=v), seed=v)
+        for v in range(3)
+    ]
+    runner.run(specs)
+    assert [e.index for e in events] == [0, 1, 2]
+    assert all(e.source == "executed" for e in events)
+    runner.run(specs)
+    cached = events[3:]
+    assert all(e.source == "cache" and e.cached for e in cached)
+    line = format_trial_event(events[0])
+    assert "[1/3]" in line and "s" in line
+    assert "cached" in format_trial_event(cached[0])
+
+
+def test_unpicklable_spec_raises_clear_error_on_pool():
+    runner = TrialRunner(workers=2)
+    spec = TrialSpec(lambda seed: seed, seed=0, label="anonymous")
+    with pytest.raises(ValueError, match="not picklable"):
+        runner.run([spec])
+
+
+def test_pool_trial_timeout_raises_instead_of_hanging():
+    runner = TrialRunner(workers=2, trial_timeout=0.25)
+    spec = TrialSpec(__name__ + ":_sleepy_trial", params=dict(seconds=30),
+                     label="sleeper")
+    start = time.monotonic()
+    with pytest.raises(TrialTimeoutError, match="sleeper"):
+        runner.run([spec])
+    assert time.monotonic() - start < 20  # pool terminated, not drained
+
+
+def test_worker_exception_propagates():
+    runner = TrialRunner(workers=2)
+    spec = TrialSpec("repro.harness.load_sweep:run_load_point",
+                     params=dict(rate="not-a-rate"), seed=0)
+    with pytest.raises(Exception):
+        runner.run([spec])

@@ -1,9 +1,11 @@
-"""Engine ordering and two-phase update guarantees."""
+"""Engine ordering, two-phase update guarantees, and run guards."""
+
+import pytest
 
 from repro.core import words as W
 from repro.sim.channel import Channel
 from repro.sim.component import Component
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EngineDeadlineError
 
 
 class _Forwarder(Component):
@@ -85,6 +87,140 @@ def test_run_until_budget_exhaustion():
     fired = engine.run_until(lambda e: False, max_cycles=10)
     assert not fired
     assert engine.cycle == 10
+
+
+def test_run_until_zero_budget_checks_without_stepping():
+    engine = Engine()
+    counter = engine.add_component(_Counter())
+    # Predicate already true: reported, zero cycles consumed.
+    assert engine.run_until(lambda e: True, max_cycles=0)
+    # Predicate false: reported false, still zero cycles consumed.
+    assert not engine.run_until(lambda e: False, max_cycles=0)
+    assert engine.cycle == 0
+    assert counter.ticks == []
+
+
+def test_run_until_rejects_negative_budget():
+    with pytest.raises(ValueError):
+        Engine().run_until(lambda e: True, max_cycles=-1)
+
+
+def test_run_zero_cycles_is_a_no_op():
+    engine = Engine()
+    counter = engine.add_component(_Counter())
+    engine.run(0)
+    assert engine.cycle == 0
+    assert counter.ticks == []
+
+
+def test_stop_ends_run_early():
+    engine = Engine()
+
+    class _Stopper(Component):
+        name = "stopper"
+
+        def tick(self, cycle):
+            if cycle == 3:
+                engine.stop()
+
+    engine.add_component(_Stopper())
+    engine.run(100)
+    assert engine.cycle == 4  # the stopping cycle completes, then we halt
+
+
+def test_stop_request_does_not_leak_into_next_run():
+    engine = Engine()
+
+    class _StopOnce(Component):
+        name = "stop-once"
+
+        def tick(self, cycle):
+            if cycle == 1:
+                engine.stop()
+
+    engine.add_component(_StopOnce())
+    engine.run(10)
+    assert engine.cycle == 2
+    engine.run(10)  # a fresh run is unaffected by the consumed stop
+    assert engine.cycle == 12
+
+
+def test_stop_ends_run_until_early():
+    engine = Engine()
+
+    class _Stopper(Component):
+        name = "stopper"
+
+        def tick(self, cycle):
+            if cycle == 2:
+                engine.stop()
+
+    engine.add_component(_Stopper())
+    fired = engine.run_until(lambda e: False, max_cycles=1000)
+    assert not fired
+    assert engine.cycle == 3
+
+
+def test_deadline_raises_with_clear_error():
+    engine = Engine()
+    engine.add_component(_Counter())
+    engine.set_deadline(5)
+    with pytest.raises(EngineDeadlineError, match="deadline of 5"):
+        engine.run(100)
+    assert engine.cycle == 5  # stepped up to, never past, the deadline
+
+
+def test_deadline_guards_run_until_livelock():
+    engine = Engine()
+    engine.set_deadline(7)
+    with pytest.raises(EngineDeadlineError):
+        engine.run_until(lambda e: False, max_cycles=10**9)
+    assert engine.cycle == 7
+
+
+def test_deadline_clear_and_validation():
+    engine = Engine()
+    engine.run(4)
+    with pytest.raises(ValueError):
+        engine.set_deadline(3)  # already in the past
+    engine.set_deadline(6)
+    engine.clear_deadline()
+    engine.run(10)  # no deadline left to trip
+    assert engine.cycle == 14
+
+
+def test_network_quiet_check_with_zero_budget_does_not_advance():
+    from repro.network.builder import build_network
+    from repro.network.topology import figure1_plan
+
+    network = build_network(figure1_plan(), seed=1)
+    before = network.engine.cycle
+    assert network.run_until_quiet(max_cycles=0)  # idle network is quiet
+    assert network.engine.cycle == before  # pure check: no settle cycles
+
+
+def test_experiment_deadline_cycles_guard():
+    from repro.endpoint.traffic import UniformRandomTraffic
+    from repro.harness.experiment import run_experiment
+    from repro.network.builder import build_network
+    from repro.network.topology import figure1_plan
+
+    network = build_network(figure1_plan(), seed=1, fast_reclaim=True)
+    traffic = UniformRandomTraffic(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=0.05,
+        message_words=6,
+        seed=2,
+    )
+    with pytest.raises(EngineDeadlineError):
+        run_experiment(
+            network,
+            traffic,
+            warmup_cycles=200,
+            measure_cycles=600,
+            deadline_cycles=50,  # far too tight: the guard must fire
+        )
 
 
 def test_pre_cycle_hooks_run_before_ticks():

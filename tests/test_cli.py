@@ -69,6 +69,52 @@ def test_parser_rejects_unknown_command():
         build_parser().parse_args(["bogus"])
 
 
+def test_parser_accepts_parallel_flags():
+    args = build_parser().parse_args(
+        ["--workers", "4", "--cache-dir", "/tmp/x", "--progress", "figure3"]
+    )
+    assert args.workers == 4
+    assert args.cache_dir == "/tmp/x"
+    assert args.progress
+
+
+def test_figure3_workers_and_cache(tmp_path, capsys):
+    argv = [
+        "--workers", "2", "--cache-dir", str(tmp_path),
+        "figure3", "--rates", "0.005,0.08", "--warmup", "150", "--measure", "400",
+    ]
+    first = _run(capsys, argv)
+    assert "Unloaded latency" in first
+    assert "latency vs delivered load" in first
+    # Second invocation answers from the trial cache with identical output.
+    second = _run(capsys, argv)
+    assert "mean_latency" in second
+    assert first == second
+    cached = list(tmp_path.rglob("*.pkl"))
+    assert len(cached) == 2  # one entry per swept rate
+
+
+def test_faults_levels_sweep(capsys):
+    out = _run(
+        capsys,
+        ["faults", "--levels", "0:0,2:0", "--warmup", "150", "--measure", "400"],
+    )
+    assert "Fault degradation sweep" in out
+    assert "links=2 routers=0" in out
+
+
+def test_progress_lines_go_to_stderr(tmp_path, capsys):
+    code = main(
+        ["--progress", "--cache-dir", str(tmp_path),
+         "faults", "--levels", "0:0", "--warmup", "150", "--measure", "400"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "links=0 routers=0" in captured.err  # progress line
+    assert "trials: 1 executed" in captured.err  # stats line
+    assert "Fault degradation sweep" in captured.out
+
+
 def test_breakdown(capsys):
     out = _run(capsys, ["breakdown"])
     assert "Latency decomposition" in out

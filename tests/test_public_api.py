@@ -93,6 +93,7 @@ SUBMODULES = [
     "repro.harness.experiment",
     "repro.harness.fault_sweep",
     "repro.harness.load_sweep",
+    "repro.harness.parallel",
     "repro.harness.reporting",
     "repro.harness.saturation",
     "repro.harness.utilization",

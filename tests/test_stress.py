@@ -26,6 +26,8 @@ from repro.faults.model import DeadLink, DeadRouter
 from repro.network.builder import build_network
 from repro.network.topology import figure1_plan
 
+pytestmark = pytest.mark.stress
+
 
 def _assert_no_leaks(network):
     for router in network.all_routers():
