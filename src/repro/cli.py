@@ -11,6 +11,15 @@
     python -m repro faults --levels 0:0,8:0,8:4 --workers 4
     python -m repro saturation --workers 4
     python -m repro send 5 15 --network figure1
+    python -m repro verify --trials 100 --workers 4
+    python -m repro verify --trials 100 --shrink
+    python -m repro verify --replay .verify-artifacts/diff-fail-0.json
+
+Commands exit nonzero on failure: ``send`` when the message is not
+delivered, ``faults`` when the degraded network delivers nothing (or
+degrades past ``--max-degradation``), ``saturation`` when no saturation
+point is found, ``verify`` on any simulator-vs-model mismatch or
+protocol violation.
 
 ``--workers N`` fans a sweep's independent trials across N worker
 processes; results are bit-identical to a serial run for the same
@@ -136,7 +145,11 @@ def _cmd_figure3(args):
 
 
 def _cmd_faults(args):
-    from repro.harness.fault_sweep import fault_degradation_sweep, run_fault_point
+    from repro.harness.fault_sweep import (
+        degradation_failures,
+        fault_degradation_sweep,
+        run_fault_point,
+    )
     from repro.harness.reporting import format_table
 
     if args.levels:
@@ -160,7 +173,26 @@ def _cmd_faults(args):
                 title="Fault degradation sweep",
             )
         )
-        return 0
+        status = 0
+        if any(r.delivered_count == 0 for r in results):
+            print("FAIL: a fault level delivered no messages", file=sys.stderr)
+            status = 1
+        if args.max_degradation is not None:
+            for result, floor in degradation_failures(
+                results, args.max_degradation
+            ):
+                print(
+                    "FAIL: {} delivered {:.4f} words/endpoint-cycle, "
+                    "below the {:.0%}-degradation floor {:.4f}".format(
+                        result.label,
+                        result.delivered_load,
+                        args.max_degradation,
+                        floor,
+                    ),
+                    file=sys.stderr,
+                )
+                status = 1
+        return status
     result = run_fault_point(
         n_dead_links=args.links,
         n_dead_routers=args.routers,
@@ -170,6 +202,9 @@ def _cmd_faults(args):
         measure_cycles=args.measure,
     )
     print(format_table([result.as_dict()], title="Fault degradation point"))
+    if result.delivered_count == 0:
+        print("FAIL: faulted network delivered no messages", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -219,11 +254,14 @@ def _cmd_saturation(args):
             saturated.delivered_load, saturated.label
         )
     )
+    if saturated.delivered_load <= 0:
+        print("FAIL: network carried no traffic at any rate", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_send(args):
-    from repro.endpoint.messages import Message
+    from repro.endpoint.messages import DELIVERED, Message
     from repro.network.builder import build_network
     from repro.network.fattree import fattree_plan
     from repro.network.topology import figure1_plan, figure3_plan
@@ -239,7 +277,7 @@ def _cmd_send(args):
         plans[args.network](), seed=args.seed, trace=trace, trace_routers=True
     )
     message = network.send(args.src, Message(dest=args.dest, payload=[1, 2, 3, 4]))
-    network.run_until_quiet(max_cycles=50000)
+    network.run_until_quiet(max_cycles=args.max_cycles)
     print(
         "{} -> {}: {} in {} cycles, {} attempt(s)".format(
             args.src, args.dest, message.outcome, message.latency, message.attempts
@@ -249,7 +287,75 @@ def _cmd_send(args):
         for event in trace.events:
             print("  @{:>4} {:>10} {:<22} {}".format(
                 event.cycle, event.source, event.kind, event.detail))
+    if message.outcome != DELIVERED:
+        print("FAIL: message was not delivered", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_verify(args):
+    import os
+
+    from repro.verify.differential import (
+        differential_sweep,
+        mismatch_aware_run,
+    )
+    from repro.verify.scenario import Scenario
+    from repro.verify.shrink import shrink_scenario
+
+    if args.replay:
+        scenario = Scenario.load(args.replay)
+        result = scenario.run(max_cycles=args.max_cycles)
+        print("replay {!r}".format(scenario))
+        print(
+            "  quiet={} outcomes={} violations={}".format(
+                result.quiet, result.outcomes, len(result.violations)
+            )
+        )
+        for cycle, router, port, rule, detail in result.violations[:20]:
+            print("  @{} {} port={} [{}] {}".format(
+                cycle, router, port, rule, detail))
+        return 0 if result.clean else 1
+
+    runner = _runner(args)
+    reports, mismatches = differential_sweep(
+        n_trials=args.trials, root_seed=args.seed, runner=runner
+    )
+    _report_runner_stats(runner)
+    print(
+        "differential sweep: {}/{} configurations agree with the "
+        "latency model".format(len(reports) - len(mismatches), len(reports))
+    )
+    if not mismatches:
+        return 0
+
+    os.makedirs(args.save, exist_ok=True)
+    for index, report in enumerate(mismatches):
+        scenario = Scenario.from_dict(report["scenario"])
+        path = os.path.join(args.save, "diff-fail-{}.json".format(index))
+        scenario.save(path)
+        print("MISMATCH {}: {} -> {}".format(index, report["detail"], path))
+
+    if args.shrink:
+        scenario = Scenario.from_dict(mismatches[0]["scenario"])
+        shrunk = shrink_scenario(
+            scenario,
+            max_cycles=args.max_cycles,
+            run=mismatch_aware_run(max_cycles=args.max_cycles),
+        )
+        path = os.path.join(args.save, "diff-fail-0.min.json")
+        shrunk.minimal.save(path)
+        print(
+            "shrunk first failure: {} -> {} messages in {} runs, "
+            "signature {} -> {}".format(
+                len(shrunk.original.messages),
+                len(shrunk.minimal.messages),
+                shrunk.tests_run,
+                sorted(shrunk.signature),
+                path,
+            )
+        )
+    return 1
 
 
 def build_parser():
@@ -299,6 +405,14 @@ def build_parser():
         help="run a full degradation sweep over LINKS:ROUTERS levels, "
         "e.g. 0:0,8:0,8:4 (parallelizes with --workers)",
     )
+    faults.add_argument(
+        "--max-degradation",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="with --levels: exit nonzero if any level's delivered load "
+        "falls more than FRACTION below the first (baseline) level",
+    )
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)
@@ -311,6 +425,38 @@ def build_parser():
     send.add_argument("--network", choices=("figure1", "figure3", "fattree"),
                       default="figure1")
     send.add_argument("--verbose", "-v", action="store_true")
+    send.add_argument("--max-cycles", type=int, default=50000)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential-test the simulator against the latency model",
+    )
+    verify.add_argument(
+        "--trials",
+        type=int,
+        default=50,
+        help="number of random configurations (parallelizes with --workers)",
+    )
+    verify.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug the first failing scenario to a minimal "
+        "reproduction before exiting",
+    )
+    verify.add_argument(
+        "--save",
+        default=".verify-artifacts",
+        metavar="DIR",
+        help="directory for failing-scenario JSON artifacts",
+    )
+    verify.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run one saved scenario JSON under the conformance "
+        "oracle instead of sweeping",
+    )
+    verify.add_argument("--max-cycles", type=int, default=50000)
 
     return parser
 
@@ -324,6 +470,7 @@ _COMMANDS = {
     "breakdown": _cmd_breakdown,
     "saturation": _cmd_saturation,
     "send": _cmd_send,
+    "verify": _cmd_verify,
 }
 
 

@@ -1,0 +1,105 @@
+"""Test-only protocol mutation hooks.
+
+The conformance oracle (:mod:`repro.verify.oracle`) claims to catch
+METRO protocol violations.  That claim is itself testable: this module
+lets the test suite *seed* deliberate protocol bugs — skip a STATUS
+word, free a backward port early, route to the wrong dilation group —
+and assert that the oracle flags every one of them (the mutation smoke
+test, ``tests/verify/test_mutations.py``).
+
+The hooks are deliberately dumb: a module-level set of active mutation
+names, consulted at a handful of guarded points in the router and
+allocator.  With no mutation active (the only state production code
+ever runs in) each guard is a single falsy module-attribute check on
+paths that are already branch-heavy, so the simulation's behaviour and
+determinism are unchanged.
+
+Usage (tests only)::
+
+    from repro.core import mutation
+
+    with mutation.seeded(mutation.SKIP_STATUS):
+        ...  # routers silently drop their STATUS words
+
+Never activate mutations outside a test: they exist to break the
+protocol.
+"""
+
+from contextlib import contextmanager
+
+#: Drop the STATUS word a router injects at each reversal (the stream
+#: reverses without the per-stage blocked flag + checksum).
+SKIP_STATUS = "skip-status"
+
+#: Report a corrupted checksum in every STATUS word (the checksum path
+#: is broken even though data flows correctly).
+CORRUPT_STATUS_CHECKSUM = "corrupt-status-checksum"
+
+#: Release the backward port the moment a DROP enters the router,
+#: instead of when it exits the pipeline — the locked-circuit property
+#: is violated while the old stream is still flushing.
+FREE_PORT_EARLY = "free-port-early"
+
+#: Never release backward ports when connections close (a path
+#: reclamation bug: every circuit leaks its output forever).
+LEAK_PORT_ON_DROP = "leak-port-on-drop"
+
+#: Allocate among *all* enabled ports of the dilation group, ignoring
+#: the IN-USE bits — two connections can share one backward port.
+DOUBLE_ALLOCATE = "double-allocate"
+
+#: Route to the next dilation group up, not the requested one (a
+#: direction-decode bug: self-routing delivers to the wrong subtree).
+WRONG_DIRECTION = "wrong-direction"
+
+#: Propagate a backward-control-bit drop without freeing the local
+#: backward port (BCB path reclamation leaks the traversed port).
+SKIP_BCB_RELEASE = "skip-bcb-release"
+
+ALL_MUTATIONS = frozenset(
+    (
+        SKIP_STATUS,
+        CORRUPT_STATUS_CHECKSUM,
+        FREE_PORT_EARLY,
+        LEAK_PORT_ON_DROP,
+        DOUBLE_ALLOCATE,
+        WRONG_DIRECTION,
+        SKIP_BCB_RELEASE,
+    )
+)
+
+#: The active mutation set.  Falsy (empty) in production; the guards in
+#: router/allocator code check emptiness before doing a set lookup.
+ACTIVE = frozenset()
+
+
+def enabled(name):
+    """True when mutation ``name`` is currently seeded."""
+    return name in ACTIVE
+
+
+def activate(*names):
+    """Seed the named mutations (additive).  Tests only."""
+    global ACTIVE
+    unknown = set(names) - ALL_MUTATIONS
+    if unknown:
+        raise ValueError("unknown mutations: {}".format(sorted(unknown)))
+    ACTIVE = ACTIVE | frozenset(names)
+
+
+def deactivate_all():
+    """Return to healthy-protocol operation."""
+    global ACTIVE
+    ACTIVE = frozenset()
+
+
+@contextmanager
+def seeded(*names):
+    """Context manager seeding mutations for the enclosed block only."""
+    global ACTIVE
+    previous = ACTIVE
+    activate(*names)
+    try:
+        yield
+    finally:
+        ACTIVE = previous

@@ -100,3 +100,25 @@ def fault_degradation_sweep(
     if runner is None:
         runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)
     return runner.run(specs)
+
+
+def degradation_failures(results, max_degradation):
+    """Sweep levels whose delivered load degraded beyond the bound.
+
+    The first result is the baseline (normally the fault-free level);
+    every later level must deliver at least
+    ``(1 - max_degradation) * baseline`` words per endpoint-cycle.
+    Returns the offending ``(result, floor)`` pairs, empty when the
+    whole sweep is within bound.  This is the paper's "degrades
+    robustly" claim made checkable: the CLI turns a non-empty return
+    into a nonzero exit status.
+    """
+    if not 0.0 <= max_degradation <= 1.0:
+        raise ValueError(
+            "max_degradation must be in [0, 1], got {}".format(max_degradation)
+        )
+    if len(results) < 2:
+        return []
+    baseline = results[0].delivered_load
+    floor = baseline * (1.0 - max_degradation)
+    return [(r, floor) for r in results[1:] if r.delivered_load < floor]

@@ -93,6 +93,11 @@ class CascadedNetwork:
         ]
         self.inuse_mismatches = 0
         self._torn_down = set()
+        #: Optional callback ``(router_key, backward_port, owners)``
+        #: invoked on every cross-slice IN-USE disagreement; the
+        #: conformance oracle hooks this to record the violation with
+        #: its cycle/router/port context.
+        self.consistency_observer = None
 
     @property
     def wide_width(self):
@@ -166,6 +171,10 @@ class CascadedNetwork:
                         continue
                     self._torn_down.add(event)
                     self.inuse_mismatches += 1
+                    if self.consistency_observer is not None:
+                        self.consistency_observer(
+                            key, q, (ports[q], other_ports[q])
+                        )
                     for owner in (ports[q], other_ports[q]):
                         if owner is None:
                             continue

@@ -37,6 +37,7 @@ class Engine:
     def __init__(self):
         self.cycle = 0
         self.components = []
+        self.observers = []
         self.channels = []
         self.deadline = None
         self._pre_cycle_hooks = []
@@ -45,6 +46,18 @@ class Engine:
     def add_component(self, component):
         """Register a clocked component; returns it for chaining."""
         self.components.append(component)
+        return component
+
+    def add_observer(self, component):
+        """Register a component that ticks after every ordinary one.
+
+        Observers see each cycle's fully-staged state — every component
+        has ticked, no channel has advanced yet — regardless of when
+        other components are registered.  The conformance oracle uses
+        this so attaching a traffic source after the oracle cannot
+        stage words behind its back.
+        """
+        self.observers.append(component)
         return component
 
     def add_channel(self, channel):
@@ -99,6 +112,8 @@ class Engine:
         cycle = self.cycle
         for component in self.components:
             component.tick(cycle)
+        for observer in self.observers:
+            observer.tick(cycle)
         for channel in self.channels:
             channel.advance()
         self.cycle = cycle + 1

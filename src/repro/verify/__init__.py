@@ -1,0 +1,34 @@
+"""Verification tooling: conformance oracle, differential tester, shrinker.
+
+Three independent checks on the simulator's faithfulness to the METRO
+protocol (paper, Sections 4-5):
+
+* :mod:`repro.verify.oracle` — an online conformance checker attached
+  to the simulation engine, validating protocol invariants on every
+  clock cycle (locked circuits, pipelined TURN reversal, per-router
+  STATUS checksums, BCB path reclamation, cascade IN-USE agreement).
+* :mod:`repro.verify.differential` — randomized network configurations
+  run through both the cycle-accurate simulator and the Table 4
+  latency equations, asserting exact agreement.
+* :mod:`repro.verify.shrink` — delta debugging for failing scenarios:
+  reduces a failing configuration or message plan to a minimal
+  reproduction worth committing to the test suite.
+"""
+
+from repro.verify.oracle import (
+    CascadeOracle,
+    Oracle,
+    OracleViolationError,
+    Violation,
+    attach_cascade_oracle,
+    attach_oracle,
+)
+
+__all__ = [
+    "CascadeOracle",
+    "Oracle",
+    "OracleViolationError",
+    "Violation",
+    "attach_cascade_oracle",
+    "attach_oracle",
+]

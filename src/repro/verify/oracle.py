@@ -1,0 +1,474 @@
+"""The online conformance oracle: protocol invariants, every cycle.
+
+The oracle is a :class:`~repro.sim.component.Component` registered
+*after* every router and endpoint, so its ``tick`` observes each
+cycle's complete post-tick state: router FSMs and allocator bits have
+already updated, and the words the routers staged onto their channels
+this cycle are still visible (channels advance only after all
+components tick).  From that vantage point it checks the invariants the
+paper's reliability story rests on:
+
+* **Locked circuits** — the allocator's IN-USE bits, the router's
+  backward-owner table and each connection's claimed backward port
+  form a consistent bijection, and no DATA word is ever staged onto a
+  backward channel whose port is unowned (Section 4).
+* **Stochastic routing stays in its dilation group** — an allocated
+  backward port always belongs to the group of the requested logical
+  direction (Section 4, self-routing).
+* **Pipelined TURN reversal** — a pending reversal injects the
+  router's STATUS word within the pipelined bound, and a reversal
+  never silently skips its STATUS (Section 5.1).
+* **Checksums match streamed payloads** — the oracle keeps its own
+  shadow CRC over the DATA words each connection actually puts on the
+  wire and compares it against the checksum the router reports in its
+  STATUS word (Section 4).
+* **BCB path reclamation frees what it traversed** — covered by the
+  ownership bijection: a connection torn down by a backward-control
+  bit that leaves its port claimed is flagged the same cycle.
+* **Half-duplex discipline** — the channels' own monitors feed the
+  oracle, so simultaneous bidirectional DATA is reported with a cycle.
+* **Cascade IN-USE agreement** — :func:`attach_cascade_oracle` hooks
+  the width-cascading consistency check so wired-AND disagreements
+  between slices become oracle violations too (Section 5.1).
+
+Violations are collected (never raised mid-simulation) so a test can
+run to quiescence and then report every offense at once with its
+cycle, router and port; :meth:`Oracle.assert_clean` raises
+:class:`OracleViolationError` with the full list.
+"""
+
+from repro.core import words as W
+from repro.core.router import (
+    FORWARD_STATE,
+    IDLE_STATE,
+    REVERSED_STATE,
+)
+from repro.sim.component import Component
+
+# Rule identifiers carried by Violation records.
+RULE_OWNERSHIP = "ownership"
+RULE_UNLOCKED_DATA = "data-on-unlocked-channel"
+RULE_DIRECTION = "wrong-dilation-group"
+RULE_STATUS_CHECKSUM = "status-checksum-mismatch"
+RULE_MISSING_STATUS = "missing-status"
+RULE_TURN_STALL = "turn-stall"
+RULE_HALF_DUPLEX = "half-duplex"
+RULE_CASCADE_INUSE = "cascade-inuse-mismatch"
+RULE_LEAK = "quiescence-leak"
+
+
+class Violation:
+    """One protocol violation: where, when, which rule, and why."""
+
+    __slots__ = ("cycle", "router", "port", "rule", "detail")
+
+    def __init__(self, cycle, router, port, rule, detail):
+        self.cycle = cycle
+        self.router = router
+        self.port = port
+        self.rule = rule
+        self.detail = detail
+
+    def __repr__(self):
+        return "<Violation @{} {} port={} {}: {}>".format(
+            self.cycle, self.router, self.port, self.rule, self.detail
+        )
+
+
+class OracleViolationError(AssertionError):
+    """Raised by :meth:`Oracle.assert_clean` when violations were seen."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = ["{} protocol violation(s):".format(len(self.violations))]
+        lines.extend("  {!r}".format(v) for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append("  ... and {} more".format(len(self.violations) - 20))
+        super().__init__("\n".join(lines))
+
+
+class _ConnTrack:
+    """Oracle-side shadow state for one router connection.
+
+    Holds a strong reference to the connection object: while the entry
+    lives, the object's id cannot be recycled, so identity-keyed
+    lookups are unambiguous.
+    """
+
+    __slots__ = ("conn", "shadow", "count", "prev_pending", "stall")
+
+    def __init__(self, conn):
+        self.conn = conn
+        self.shadow = W.Checksum()
+        self.count = 0
+        self.prev_pending = conn.status_pending
+        self.stall = 0
+
+
+class Oracle(Component):
+    """Per-cycle conformance checker over a set of routers.
+
+    :param routers: the routers to watch (usually every live router in
+        a network; dead routers are skipped each cycle).
+    :param channels: optional iterable of channels whose half-duplex
+        monitors the oracle should watch.
+    :param turn_stall_bound: consecutive post-tick cycles a reversal's
+        STATUS injection may stay pending.  The implementation emits
+        STATUS on the first service tick after a reversal, so the bound
+        is 2 observed cycles; raise it only for experimental routers.
+    :param max_violations: stop recording (not checking) beyond this
+        many violations, keeping pathological runs bounded.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self, routers, channels=None, turn_stall_bound=2, max_violations=1000
+    ):
+        self.routers = list(routers)
+        self.channels = list(channels) if channels is not None else []
+        self.turn_stall_bound = turn_stall_bound
+        self.max_violations = max_violations
+        self.violations = []
+        self.cycles_checked = 0
+        self._tracks = {}  # (router_name, id(conn)) -> _ConnTrack
+        self._half_duplex_seen = {id(ch): 0 for ch in self.channels}
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def violation_rules(self):
+        """The distinct rule identifiers violated so far."""
+        return sorted({v.rule for v in self.violations})
+
+    def assert_clean(self):
+        """Raise :class:`OracleViolationError` unless no violations."""
+        if self.violations:
+            raise OracleViolationError(self.violations)
+
+    def _violate(self, cycle, router_name, port, rule, detail):
+        if len(self.violations) < self.max_violations:
+            self.violations.append(
+                Violation(cycle, router_name, port, rule, detail)
+            )
+
+    # ------------------------------------------------------------------
+    # Per-cycle checking
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle):
+        self.cycles_checked += 1
+        for router in self.routers:
+            if router.dead:
+                continue
+            self._check_router(router, cycle)
+        for channel in self.channels:
+            seen = self._half_duplex_seen[id(channel)]
+            now = channel.half_duplex_violations
+            if now > seen:
+                self._violate(
+                    cycle,
+                    channel.name,
+                    None,
+                    RULE_HALF_DUPLEX,
+                    "{} simultaneous bidirectional DATA cycle(s)".format(
+                        now - seen
+                    ),
+                )
+                self._half_duplex_seen[id(channel)] = now
+
+    def _check_router(self, router, cycle):
+        allocator = router.allocator
+        config = router.config
+        owners = router._bwd_owner
+        live = {id(conn) for conn in router._conns}
+        live.update(id(conn) for conn in router._draining)
+
+        # --- backward side: allocator/owner agreement, locked channels
+        for q, owner in enumerate(owners):
+            if owner is not None and id(owner) not in live:
+                self._violate(
+                    cycle,
+                    router.name,
+                    q,
+                    RULE_OWNERSHIP,
+                    "port owned by a connection the router no longer "
+                    "tracks (leaked by teardown)",
+                )
+            if allocator.in_use(q) != (owner is not None):
+                self._violate(
+                    cycle,
+                    router.name,
+                    q,
+                    RULE_OWNERSHIP,
+                    "allocator IN-USE={} but owner table says {}".format(
+                        allocator.in_use(q),
+                        "owned" if owner is not None else "free",
+                    ),
+                )
+            if owner is not None and owner.bwd_port != q:
+                self._violate(
+                    cycle,
+                    router.name,
+                    q,
+                    RULE_OWNERSHIP,
+                    "owner (fwd port {}) no longer claims this port "
+                    "(claims {})".format(owner.fwd_port, owner.bwd_port),
+                )
+            if owner is None:
+                end = router.backward_ends[q]
+                enabled = config.port_enabled[config.backward_port_id(q)]
+                if end is not None and enabled:
+                    staged = end._tx.staged
+                    if staged is not None and staged.kind == W.DATA:
+                        self._violate(
+                            cycle,
+                            router.name,
+                            q,
+                            RULE_UNLOCKED_DATA,
+                            "DATA staged on unowned backward port: "
+                            "{!r}".format(staged),
+                        )
+
+        # --- forward side: per-connection invariants and shadows
+        for conn in router._conns:
+            self._check_conn(router, conn, cycle, draining=False)
+        for conn in router._draining:
+            self._check_conn(router, conn, cycle, draining=True)
+        name = router.name
+        stale = [
+            key
+            for key in self._tracks
+            if key[0] == name and key[1] not in live
+        ]
+        for key in stale:
+            del self._tracks[key]
+
+    def _track_for(self, router, conn):
+        key = (router.name, id(conn))
+        track = self._tracks.get(key)
+        if track is None or track.conn is not conn:
+            track = _ConnTrack(conn)
+            self._tracks[key] = track
+        return track
+
+    def _check_conn(self, router, conn, cycle, draining):
+        track = self._track_for(router, conn)
+        state = conn.state
+
+        # A connection's claimed port must be the one the router and
+        # allocator think it owns, inside the right dilation group.
+        if conn.bwd_port is not None:
+            q = conn.bwd_port
+            if router._bwd_owner[q] is not conn:
+                self._violate(
+                    cycle,
+                    router.name,
+                    q,
+                    RULE_OWNERSHIP,
+                    "connection (fwd port {}) claims a backward port "
+                    "it does not own".format(conn.fwd_port),
+                )
+            if conn.direction is not None:
+                group = router.config.backward_group(conn.direction)
+                if q not in group:
+                    self._violate(
+                        cycle,
+                        router.name,
+                        q,
+                        RULE_DIRECTION,
+                        "port outside dilation group {} of requested "
+                        "direction {}".format(group, conn.direction),
+                    )
+
+        # Outside the established states the router has reset (or never
+        # started) its per-connection accumulators; mirror that, so a
+        # reused connection object starts its next circuit with a fresh
+        # shadow.  Draining connections keep flushing words that will
+        # never be checksummed, so their shadow is simply dropped.
+        if state not in (FORWARD_STATE, REVERSED_STATE) or draining:
+            track.shadow.reset()
+            track.count = 0
+            track.stall = 0
+            track.prev_pending = conn.status_pending
+            return
+
+        # Shadow-checksum the words this connection stages on the wire,
+        # and verify the router's own STATUS word when it appears.
+        out_end = None
+        if state == FORWARD_STATE and conn.bwd_port is not None:
+            out_end = router.backward_ends[conn.bwd_port]
+        elif state == REVERSED_STATE:
+            out_end = router.forward_ends[conn.fwd_port]
+        saw_own_status = False
+        if out_end is not None:
+            staged = out_end._tx.staged
+            if staged is not None:
+                if staged.kind == W.DATA:
+                    track.shadow.update(staged.value)
+                    track.count += 1
+                elif (
+                    staged.kind == W.STATUS
+                    and staged.value.router_name == router.name
+                    and not staged.value.blocked
+                ):
+                    saw_own_status = True
+                    status = staged.value
+                    if (
+                        status.checksum != track.shadow.value
+                        or status.words_forwarded != track.count
+                    ):
+                        self._violate(
+                            cycle,
+                            router.name,
+                            conn.fwd_port,
+                            RULE_STATUS_CHECKSUM,
+                            "STATUS reports cksum={:#04x} n={} but wire "
+                            "carried cksum={:#04x} n={}".format(
+                                status.checksum,
+                                status.words_forwarded,
+                                track.shadow.value,
+                                track.count,
+                            ),
+                        )
+                    track.shadow.reset()
+                    track.count = 0
+
+        # Pipelined TURN reversal: the STATUS either appears promptly
+        # (stall bound) or, if pending quietly vanished while the
+        # connection stayed established, was skipped outright.
+        if (
+            track.prev_pending
+            and not conn.status_pending
+            and state in (FORWARD_STATE, REVERSED_STATE)
+            and not saw_own_status
+        ):
+            self._violate(
+                cycle,
+                router.name,
+                conn.fwd_port,
+                RULE_MISSING_STATUS,
+                "reversal completed without injecting a STATUS word",
+            )
+        if conn.status_pending:
+            track.stall += 1
+            if track.stall == self.turn_stall_bound + 1:
+                self._violate(
+                    cycle,
+                    router.name,
+                    conn.fwd_port,
+                    RULE_TURN_STALL,
+                    "STATUS injection pending for more than {} "
+                    "cycles after a reversal".format(self.turn_stall_bound),
+                )
+        else:
+            track.stall = 0
+        track.prev_pending = conn.status_pending
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+
+    def check_quiescent(self, cycle=None):
+        """Record leaks on a network that should be fully drained.
+
+        Call after traffic stops and the network reports quiet: any
+        busy backward port or non-idle connection FSM on a live router
+        is a resource leak (METRO's statelessness claim, Section 2).
+        Returns the violations recorded by this check.
+        """
+        found = []
+        for router in self.routers:
+            if router.dead:
+                continue
+            for q in router.busy_backward_ports():
+                found.append(
+                    Violation(
+                        cycle,
+                        router.name,
+                        q,
+                        RULE_LEAK,
+                        "backward port still claimed after drain",
+                    )
+                )
+            for conn in router._conns:
+                if conn.state != IDLE_STATE:
+                    found.append(
+                        Violation(
+                            cycle,
+                            router.name,
+                            conn.fwd_port,
+                            RULE_LEAK,
+                            "connection FSM stuck in {!r}".format(conn.state),
+                        )
+                    )
+        for violation in found:
+            if len(self.violations) < self.max_violations:
+                self.violations.append(violation)
+        return found
+
+
+def attach_oracle(network, **kwargs):
+    """Attach a conformance oracle to a built network; returns it.
+
+    The oracle is registered as an engine *observer*, so each of its
+    ticks observes the post-tick state of every router plus the words
+    staged this cycle — even by components (traffic sources, fault
+    hooks) registered after the oracle was attached.
+    """
+    oracle = Oracle(
+        list(network.all_routers()),
+        channels=list(network.channels.values()),
+        **kwargs
+    )
+    network.engine.add_observer(oracle)
+    return oracle
+
+
+class CascadeOracle:
+    """Oracles over every slice of a cascaded network, plus the
+    wired-AND IN-USE consistency check between them."""
+
+    def __init__(self, cascaded, slice_oracles):
+        self.cascaded = cascaded
+        self.slice_oracles = slice_oracles
+        self.cascade_violations = []
+        cascaded.consistency_observer = self._on_mismatch
+
+    def _on_mismatch(self, router_key, port, owners):
+        self.cascade_violations.append(
+            Violation(
+                self.cascaded.slices[0].engine.cycle,
+                "r{}.{}.{}".format(*router_key),
+                port,
+                RULE_CASCADE_INUSE,
+                "slices disagree on IN-USE owner: {}".format(owners),
+            )
+        )
+
+    @property
+    def violations(self):
+        merged = list(self.cascade_violations)
+        for oracle in self.slice_oracles:
+            merged.extend(oracle.violations)
+        return merged
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def assert_clean(self):
+        if self.violations:
+            raise OracleViolationError(self.violations)
+
+
+def attach_cascade_oracle(cascaded, **kwargs):
+    """Attach per-slice oracles plus the cross-slice IN-USE check."""
+    return CascadeOracle(
+        cascaded, [attach_oracle(net, **kwargs) for net in cascaded.slices]
+    )

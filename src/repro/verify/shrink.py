@@ -1,0 +1,257 @@
+"""Delta-debugging shrinker for failing verification scenarios.
+
+A randomized scenario that fails — oracle violations, lost messages, a
+differential mismatch — is rarely minimal: it carries more messages,
+longer payloads and a bigger network than the bug needs.  This module
+reduces it to a *minimal committed reproduction*:
+
+1. **ddmin over the message plan** — the classic delta-debugging
+   algorithm drops subsets of messages while the failure persists;
+2. **payload shortening** — each surviving message's payload is cut
+   (halving, then single words) and its values canonicalized to zero;
+3. **dimension reduction** — greedy passes shrink the network itself
+   (fewer stages, smaller radix, dilation 1, shallower pipelines,
+   shorter links, simpler header mode) to a fixpoint.
+
+Failure identity: each candidate must reproduce at least one of the
+original failure's tags (oracle rule ids, undelivered outcomes,
+non-quiescence), so shrinking cannot wander onto an unrelated bug.
+
+Used programmatically by the tests and from the CLI as
+``repro verify --shrink`` (which saves the reduced scenario as a JSON
+artifact to re-run with ``repro verify --replay``).
+"""
+
+from repro.endpoint.messages import DELIVERED
+from repro.verify.scenario import Scenario
+
+
+def failure_signature(result):
+    """The set of failure tags shown by a :class:`ScenarioResult`.
+
+    Empty means the run was clean.  Tags are stable across runs of the
+    same scenario (the simulator is deterministic), which is what makes
+    them usable as a shrinking invariant.
+    """
+    tags = set()
+    for rule in result.violation_rules():
+        tags.add("rule:" + rule)
+    for outcome in result.outcomes:
+        if outcome != DELIVERED:
+            tags.add("outcome:{}".format(outcome))
+    if not result.quiet:
+        tags.add("not-quiet")
+    if result.checksum_failures:
+        tags.add("rx-checksum")
+    return frozenset(tags)
+
+
+class ShrinkResult:
+    """Outcome of one shrink: the minimal scenario and its pedigree."""
+
+    __slots__ = ("original", "minimal", "signature", "tests_run")
+
+    def __init__(self, original, minimal, signature, tests_run):
+        self.original = original
+        self.minimal = minimal
+        self.signature = signature
+        self.tests_run = tests_run
+
+    def __repr__(self):
+        return "<ShrinkResult {} -> {} msgs, {} tests, {}>".format(
+            len(self.original.messages),
+            len(self.minimal.messages),
+            self.tests_run,
+            sorted(self.signature),
+        )
+
+
+class Shrinker:
+    """Reduces failing scenarios while preserving their failure.
+
+    :param max_cycles: simulation budget per candidate run.
+    :param run: optional override ``f(scenario) -> ScenarioResult``
+        (the differential tester passes a runner that also checks the
+        latency model, so model mismatches shrink too).
+    """
+
+    def __init__(self, max_cycles=50000, run=None):
+        self.max_cycles = max_cycles
+        self._run = run
+        self.tests_run = 0
+
+    def _result(self, scenario):
+        self.tests_run += 1
+        if self._run is not None:
+            return self._run(scenario)
+        return scenario.run(max_cycles=self.max_cycles)
+
+    def signature(self, scenario):
+        return failure_signature(self._result(scenario))
+
+    def shrink(self, scenario):
+        """Shrink ``scenario`` to a minimal failing reproduction.
+
+        :raises ValueError: when the scenario does not fail at all
+            (there is nothing to preserve).
+        """
+        original_signature = self.signature(scenario)
+        if not original_signature:
+            raise ValueError("scenario passes; nothing to shrink")
+
+        def still_fails(candidate):
+            # Reproducing any one of the original tags keeps the
+            # reduction on the same bug.
+            return bool(self.signature(candidate) & original_signature)
+
+        current = scenario
+        current = self._shrink_messages(current, still_fails)
+        current = self._shrink_payloads(current, still_fails)
+        current = self._shrink_dimensions(current, still_fails)
+        # Smaller networks may enable further message/payload cuts.
+        current = self._shrink_messages(current, still_fails)
+        current = self._shrink_payloads(current, still_fails)
+        return ShrinkResult(
+            scenario, current, self.signature(current), self.tests_run
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: ddmin over the message list
+    # ------------------------------------------------------------------
+
+    def _shrink_messages(self, scenario, still_fails):
+        messages = list(scenario.messages)
+        if len(messages) < 2:
+            return scenario
+
+        def test(subset):
+            return still_fails(self._with_messages(scenario, subset))
+
+        minimal = _ddmin(messages, test)
+        return self._with_messages(scenario, minimal)
+
+    @staticmethod
+    def _with_messages(scenario, messages):
+        data = scenario.as_dict()
+        data["messages"] = [dict(m) for m in messages]
+        return Scenario.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Phase 2: shorter, canonical payloads
+    # ------------------------------------------------------------------
+
+    def _shrink_payloads(self, scenario, still_fails):
+        current = scenario
+        for index in range(len(current.messages)):
+            payload = list(current.messages[index]["payload"])
+            for length in _shrinking_lengths(len(payload)):
+                candidate = self._with_payload(current, index, payload[:length])
+                if still_fails(candidate):
+                    current = candidate
+                    payload = payload[:length]
+            zeroed = self._with_payload(current, index, [0] * len(payload))
+            if payload != [0] * len(payload) and still_fails(zeroed):
+                current = zeroed
+        return current
+
+    @staticmethod
+    def _with_payload(scenario, index, payload):
+        data = scenario.as_dict()
+        data["messages"][index]["payload"] = list(payload)
+        return Scenario.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Phase 3: smaller network dimensions
+    # ------------------------------------------------------------------
+
+    def _shrink_dimensions(self, scenario, still_fails):
+        current = scenario
+        progress = True
+        while progress:
+            progress = False
+            for candidate in self._dimension_candidates(current):
+                if still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    break
+        return current
+
+    def _dimension_candidates(self, scenario):
+        """Single-step reductions, most drastic first."""
+        data = scenario.as_dict()
+
+        def variant(**changes):
+            updated = dict(data)
+            updated.update(changes)
+            # Scenario.__init__ deep-copies messages, so neither the
+            # original nor the candidate aliases the other's plan.
+            candidate = Scenario.from_dict(updated)
+            # Keep addresses inside the (possibly smaller) network.
+            limit = candidate.n_endpoints
+            for message in candidate.messages:
+                message["src"] %= limit
+                message["dest"] %= limit
+            return candidate
+
+        if scenario.n_stages > 1:
+            yield variant(n_stages=scenario.n_stages - 1)
+        if scenario.radix > 2:
+            yield variant(radix=scenario.radix // 2)
+        if scenario.dilation > 1:
+            yield variant(dilation=scenario.dilation // 2)
+        if scenario.dp > 1:
+            yield variant(dp=scenario.dp - 1)
+        if scenario.link_delay > 1:
+            yield variant(link_delay=scenario.link_delay - 1)
+        if scenario.hw > 0:
+            yield variant(hw=scenario.hw - 1)
+        if scenario.fast_reclaim:
+            yield variant(fast_reclaim=False)
+        if scenario.seed != 0:
+            yield variant(seed=0)
+        for index, message in enumerate(scenario.messages):
+            if message["src"] != 0 or message["dest"] != 0:
+                canonical = [dict(m) for m in scenario.messages]
+                canonical[index] = dict(message, src=0, dest=0)
+                yield variant(messages=canonical)
+
+
+def _shrinking_lengths(length):
+    """Candidate shorter payload lengths, halving down to one word."""
+    lengths = []
+    current = length // 2
+    while current >= 1:
+        lengths.append(current)
+        current //= 2
+    return lengths
+
+
+def _ddmin(items, test):
+    """Zeller's ddmin: a minimal failing subset of ``items``.
+
+    ``test(subset)`` returns True while the failure reproduces.  The
+    input list is assumed to fail as a whole.
+    """
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk :]
+            if complement and test(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    if len(items) == 1:
+        return items
+    return items
+
+
+def shrink_scenario(scenario, max_cycles=50000, run=None):
+    """Convenience wrapper: shrink and return the ShrinkResult."""
+    return Shrinker(max_cycles=max_cycles, run=run).shrink(scenario)

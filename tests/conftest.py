@@ -1,0 +1,18 @@
+"""Shared test configuration.
+
+Hypothesis runs derandomized by default: every property test draws the
+same examples on every run and machine, so a failure seen in CI
+reproduces locally from the log alone (see docs/testing.md).  Export
+``HYPOTHESIS_PROFILE=random`` to explore fresh examples instead.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # property tests are skipped without hypothesis
+    pass
+else:
+    settings.register_profile("deterministic", derandomize=True)
+    settings.register_profile("random", derandomize=False)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

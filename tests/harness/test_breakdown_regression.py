@@ -1,0 +1,84 @@
+"""Regression: Section 2's short-haul condition across Table 3.
+
+``LatencyBreakdown.injection_dominates`` encodes the paper's premise
+that for short-haul networks "the time to inject a message is long
+compared to the transit latency".  These tests pin that premise
+analytically for every Table 3 implementation — serialization time is
+message bits times ``t_bit``, transit is ``stages * t_stg`` — so a
+future change to the equations or the breakdown predicate that flips a
+row fails loudly.
+"""
+
+import pytest
+
+from repro.harness.breakdown import LatencyBreakdown
+from repro.latency_model import equations as EQ
+from repro.latency_model.implementations import rn1, table3_implementations
+
+
+def analytic_breakdown(impl, message_bits=EQ.MESSAGE_BITS_20_BYTES):
+    """A Table 3 row's breakdown for a message of ``message_bits``."""
+    serialization = (message_bits + impl.hbits()) * impl.t_bit()
+    transit = impl.stages * impl.t_stg()
+    return LatencyBreakdown(
+        serialization=serialization,
+        transit=transit,
+        reply=0.0,
+        total=serialization + transit,
+    )
+
+
+@pytest.mark.parametrize(
+    "impl", table3_implementations(), ids=lambda i: "{}-{}".format(
+        i.technology.replace(" ", ""), i.name.replace(" ", "_"))
+)
+def test_20_byte_messages_injection_dominates_everywhere(impl):
+    """At the paper's reference size every implementation — gate array
+    through 4-cascade full custom — is injection-dominated."""
+    assert analytic_breakdown(impl).injection_dominates
+
+
+def test_fastest_cascade_flips_for_short_messages():
+    """The premise is not vacuous: the row with the widest effective
+    datapath (i=o=8 hw=2 4-cascade full custom) becomes transit-
+    dominated once the message shrinks enough."""
+    fastest = table3_implementations()[-1]
+    assert fastest.c == 4
+    assert analytic_breakdown(fastest).injection_dominates
+    assert not analytic_breakdown(fastest, message_bits=32).injection_dominates
+
+
+def test_flip_point_tracks_the_stage_transit():
+    """injection >= transit exactly when total bits x t_bit crosses
+    stages x t_stg; check the boundary bit count on the fastest row."""
+    fastest = table3_implementations()[-1]
+    transit = fastest.stages * fastest.t_stg()
+    boundary_bits = int(transit / fastest.t_bit())  # 128 bits
+    at = analytic_breakdown(fastest, message_bits=boundary_bits - fastest.hbits())
+    below = analytic_breakdown(
+        fastest, message_bits=boundary_bits - fastest.hbits() - 1
+    )
+    assert at.injection_dominates
+    assert not below.injection_dominates
+
+
+def test_rn1_ancestor_still_injection_dominated():
+    """Even with the unpipelined interconnect of RN1 (Section 6.1) the
+    premise holds at 20 bytes — the lesson METRO drew was about clock
+    rate, not about transit dominating."""
+    assert analytic_breakdown(rn1()).injection_dominates
+
+
+def test_breakdown_dict_reports_all_phases():
+    breakdown = analytic_breakdown(table3_implementations()[0])
+    data = breakdown.as_dict()
+    assert set(data) == {
+        "serialization_cycles",
+        "transit_cycles",
+        "reply_cycles",
+        "total_cycles",
+    }
+    assert data["total_cycles"] == pytest.approx(
+        data["serialization_cycles"] + data["transit_cycles"]
+        + data["reply_cycles"]
+    )

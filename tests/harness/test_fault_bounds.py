@@ -1,0 +1,43 @@
+"""degradation_failures: the checkable form of "degrades robustly"."""
+
+import pytest
+
+from repro.harness.fault_sweep import degradation_failures
+
+
+class _Level:
+    def __init__(self, label, delivered_load):
+        self.label = label
+        self.delivered_load = delivered_load
+
+
+def test_within_bound_is_empty():
+    results = [_Level("0:0", 0.10), _Level("8:0", 0.09), _Level("8:4", 0.08)]
+    assert degradation_failures(results, 0.5) == []
+
+
+def test_flags_levels_below_the_floor():
+    results = [_Level("0:0", 0.10), _Level("8:0", 0.09), _Level("16:8", 0.04)]
+    failures = degradation_failures(results, 0.25)
+    assert [(r.label, floor) for r, floor in failures] == [
+        ("16:8", pytest.approx(0.075))
+    ]
+
+
+def test_baseline_itself_is_never_flagged():
+    results = [_Level("0:0", 0.0), _Level("8:0", 0.0)]
+    # A zero baseline makes the floor zero: nothing can fall below it.
+    assert degradation_failures(results, 0.0) == []
+
+
+def test_single_point_sweeps_have_no_baseline_comparison():
+    assert degradation_failures([_Level("0:0", 0.1)], 0.0) == []
+    assert degradation_failures([], 0.5) == []
+
+
+def test_bound_is_validated():
+    results = [_Level("a", 1.0), _Level("b", 0.5)]
+    with pytest.raises(ValueError):
+        degradation_failures(results, 1.5)
+    with pytest.raises(ValueError):
+        degradation_failures(results, -0.1)

@@ -1,0 +1,141 @@
+"""Regression: Engine.stop() and set_deadline() interplay.
+
+The two run guards serve different masters — stop() is a cooperative
+early return for components, set_deadline() a hard ceiling for worker
+processes — and their interaction has sharp edges worth pinning:
+stops are consumed by the run they interrupt, deadlines are checked
+before stepping, and a stop can land exactly on the deadline cycle
+without tripping it.
+"""
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.engine import Engine, EngineDeadlineError
+
+
+class _StopAt(Component):
+    """Calls engine.stop() during its tick at a chosen cycle."""
+
+    def __init__(self, engine, at):
+        self.name = "stopper"
+        self.engine = engine
+        self.at = at
+
+    def tick(self, cycle):
+        if cycle == self.at:
+            self.engine.stop()
+
+
+def test_stop_request_before_run_is_ignored():
+    """Each run consumes the stop flag on entry: a stale request from
+    outside any run must not cancel the next one."""
+    engine = Engine()
+    engine.stop()
+    engine.run(5)
+    assert engine.cycle == 5
+
+
+def test_stop_mid_run_finishes_the_current_cycle():
+    engine = Engine()
+    engine.add_component(_StopAt(engine, at=2))
+    engine.run(100)
+    assert engine.cycle == 3  # cycle 2 completed, nothing after
+
+
+def test_stop_is_consumed_by_the_run_it_interrupts():
+    engine = Engine()
+    engine.add_component(_StopAt(engine, at=2))
+    engine.run(100)
+    engine.run(4)  # the stopper's cycle is past; this run is clean
+    assert engine.cycle == 7
+
+
+def test_stop_on_the_deadline_cycle_beats_the_deadline():
+    """A component stopping at cycle d-1 ends the run before step()
+    would check the deadline at cycle d — cooperative shutdown wins."""
+    engine = Engine()
+    engine.set_deadline(3)
+    engine.add_component(_StopAt(engine, at=2))
+    engine.run(100)  # would raise at cycle 3 without the stop
+    assert engine.cycle == 3
+
+
+def test_deadline_fires_without_a_stop():
+    engine = Engine()
+    engine.set_deadline(3)
+    with pytest.raises(EngineDeadlineError):
+        engine.run(100)
+    assert engine.cycle == 3
+
+
+def test_run_until_zero_budget_never_trips_a_due_deadline():
+    """max_cycles=0 means 'check, never step': even with the deadline
+    already due, the predicate is evaluated without raising."""
+    engine = Engine()
+    engine.run(3)
+    engine.set_deadline(3)
+    assert engine.run_until(lambda e: True, max_cycles=0)
+    assert not engine.run_until(lambda e: False, max_cycles=0)
+    assert engine.cycle == 3
+
+
+def test_run_until_stop_returns_predicate_truth_at_that_point():
+    engine = Engine()
+    engine.add_component(_StopAt(engine, at=1))
+    fired = engine.run_until(lambda e: e.cycle >= 10, max_cycles=100)
+    assert not fired
+    assert engine.cycle == 2
+
+
+def test_deadline_survives_a_stopped_run():
+    """stop() cancels the run, not the deadline: the ceiling still
+    applies to the next run."""
+    engine = Engine()
+    engine.set_deadline(5)
+    engine.add_component(_StopAt(engine, at=2))
+    engine.run(100)
+    assert engine.cycle == 3
+    with pytest.raises(EngineDeadlineError):
+        engine.run(100)
+    assert engine.cycle == 5
+
+
+def test_clearing_the_deadline_unblocks_stepping():
+    engine = Engine()
+    engine.set_deadline(2)
+    with pytest.raises(EngineDeadlineError):
+        engine.run(10)
+    engine.clear_deadline()
+    engine.run(3)
+    assert engine.cycle == 5
+
+
+class _Recorder(Component):
+    def __init__(self, name, trail):
+        self.name = name
+        self.trail = trail
+
+    def tick(self, cycle):
+        self.trail.append(self.name)
+
+
+def test_observers_tick_after_every_component():
+    """Observer ordering is positional-registration-proof: a component
+    added after the observer still ticks before it each cycle."""
+    engine = Engine()
+    trail = []
+    engine.add_observer(_Recorder("oracle", trail))
+    engine.add_component(_Recorder("late-traffic", trail))
+    engine.run(2)
+    assert trail == ["late-traffic", "oracle", "late-traffic", "oracle"]
+
+
+def test_past_deadline_is_rejected_up_front():
+    engine = Engine()
+    engine.run(4)
+    with pytest.raises(ValueError):
+        engine.set_deadline(3)
+    engine.set_deadline(4)  # equal to the current cycle is allowed...
+    with pytest.raises(EngineDeadlineError):
+        engine.step()       # ...and due immediately

@@ -119,3 +119,93 @@ def test_breakdown(capsys):
     out = _run(capsys, ["breakdown"])
     assert "Latency decomposition" in out
     assert "injection_dominates" in out
+
+
+# ---------------------------------------------------------------------------
+# Exit codes: failures must be visible to shells and CI, not printed-and-0
+# ---------------------------------------------------------------------------
+
+
+def test_send_exits_nonzero_when_undelivered(capsys):
+    """A cycle budget too small for delivery is a failed send."""
+    code = main(["send", "5", "15", "--max-cycles", "10"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "not delivered" in captured.err
+
+
+def test_send_exit_zero_on_delivery():
+    assert main(["send", "5", "15"]) == 0
+
+
+def test_faults_levels_within_degradation_bound(capsys):
+    code = main(
+        ["faults", "--levels", "0:0,2:0", "--warmup", "150",
+         "--measure", "400", "--max-degradation", "0.9"]
+    )
+    assert code == 0
+    assert "Fault degradation sweep" in capsys.readouterr().out
+
+
+def test_faults_levels_beyond_degradation_bound(capsys):
+    """An impossible bound (no degradation allowed, down to the last
+    delivered word) must flip the exit code on a heavily faulted run."""
+    code = main(
+        ["faults", "--levels", "0:0,16:6", "--warmup", "150",
+         "--measure", "400", "--max-degradation", "0.0"]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "FAIL" in captured.err
+
+
+def test_verify_sweep_passes(capsys):
+    code = main(["verify", "--trials", "4"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "4/4 configurations agree" in captured.out
+
+
+def test_verify_sweep_parallel_matches_serial(capsys):
+    serial = _run(capsys, ["verify", "--trials", "6"])
+    parallel = _run(capsys, ["--workers", "2", "verify", "--trials", "6"])
+    assert serial == parallel
+
+
+def test_verify_replay_round_trip(tmp_path, capsys):
+    from repro.verify.scenario import random_scenario
+
+    path = tmp_path / "scenario.json"
+    random_scenario(7, n_messages=1).save(str(path))
+    code = main(["verify", "--replay", str(path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "violations=0" in captured.out
+
+
+def test_verify_replay_failing_scenario_exits_nonzero(tmp_path, capsys):
+    """A scenario whose message cannot finish inside the cycle budget
+    replays as a failure."""
+    from repro.verify.scenario import random_scenario
+
+    path = tmp_path / "scenario.json"
+    random_scenario(7, n_messages=1).save(str(path))
+    code = main(["verify", "--replay", str(path), "--max-cycles", "5"])
+    assert code == 1
+    assert "quiet=False" in capsys.readouterr().out
+
+
+def test_verify_saves_artifacts_on_mismatch(tmp_path, capsys, monkeypatch):
+    """A model/simulator disagreement exits 1 and leaves committed,
+    shrunk scenario JSON behind for CI to upload."""
+    from repro.verify import differential
+
+    monkeypatch.setattr(differential, "model_slack", lambda scenario: -999)
+    code = main(
+        ["verify", "--trials", "2", "--shrink", "--save", str(tmp_path)]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "MISMATCH" in captured.out
+    assert (tmp_path / "diff-fail-0.json").exists()
+    assert (tmp_path / "diff-fail-0.min.json").exists()

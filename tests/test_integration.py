@@ -6,11 +6,18 @@ from repro.core.parameters import RouterParameters
 from repro.endpoint.messages import DELIVERED, Message
 from repro.network.builder import build_network
 from repro.network.topology import NetworkPlan, StageSpec, figure1_plan, figure3_plan
+from repro.verify import attach_oracle
 
 
 def _deliver_one(network, src, dest, payload):
+    """Send one message under the conformance oracle and drain."""
+    oracle = getattr(network, "_test_oracle", None)
+    if oracle is None:
+        oracle = network._test_oracle = attach_oracle(network)
     message = network.send(src, Message(dest=dest, payload=payload))
     assert network.run_until_quiet(max_cycles=5000)
+    oracle.check_quiescent(network.engine.cycle)
+    oracle.assert_clean()
     return message
 
 
@@ -108,11 +115,14 @@ class TestConcurrentTraffic:
         """Everyone sends to endpoint 0: heavy blocking, but source-
         responsible retry + random selection eventually delivers all."""
         network = build_network(figure1_plan(), seed=37)
+        oracle = attach_oracle(network)
         msgs = [
             network.send(src, Message(dest=0, payload=[src]))
             for src in range(1, 16)
         ]
         assert network.run_until_quiet(max_cycles=50000)
+        oracle.check_quiescent(network.engine.cycle)
+        oracle.assert_clean()
         for message in msgs:
             assert message.outcome == DELIVERED
         causes = network.log.failure_cause_counts()

@@ -16,6 +16,7 @@ from repro.endpoint.messages import DELIVERED, Message
 from repro.network.builder import build_network
 from repro.network.topology import NetworkPlan, StageSpec
 from repro.network.validate import validate_network
+from repro.verify import attach_oracle
 
 
 @st.composite
@@ -68,11 +69,15 @@ def test_random_plan_builds_and_delivers(plan, seed):
         return
     network = build_network(plan, seed=seed)
     assert validate_network(network) == []
+    oracle = attach_oracle(network)
     src = seed % plan.n_endpoints
     dest = (seed // 7) % plan.n_endpoints
     message = network.send(src, Message(dest=dest, payload=[1, 2, 3]))
     assert network.run_until_quiet(max_cycles=30000)
     assert message.outcome == DELIVERED
-    # And the network is clean afterwards.
+    # And the network is clean afterwards: no busy ports, and the
+    # per-cycle conformance oracle saw nothing illegal on the way.
     for router in network.all_routers():
         assert router.busy_backward_ports() == []
+    oracle.check_quiescent(network.engine.cycle)
+    oracle.assert_clean()

@@ -25,6 +25,7 @@ from repro.faults.injector import FaultInjector, router_to_router_channels
 from repro.faults.model import DeadLink, DeadRouter
 from repro.network.builder import build_network
 from repro.network.topology import figure1_plan
+from repro.verify import attach_oracle
 
 pytestmark = pytest.mark.stress
 
@@ -44,6 +45,7 @@ def _assert_no_leaks(network):
 
 def test_sustained_traffic_no_leaks():
     network = build_network(figure1_plan(), seed=101, fast_reclaim=True)
+    oracle = attach_oracle(network)
     traffic = UniformRandomTraffic(16, 4, rate=0.05, message_words=8, seed=5)
     traffic.attach(network)
     network.run(6000)
@@ -51,6 +53,8 @@ def test_sustained_traffic_no_leaks():
         endpoint.traffic_source = None
     assert network.run_until_quiet(max_cycles=50000)
     _assert_no_leaks(network)
+    oracle.check_quiescent(network.engine.cycle)
+    oracle.assert_clean()
     log = network.log
     assert len(log.delivered()) > 200
     assert log.abandoned() == []
@@ -63,6 +67,7 @@ def test_chaos_traffic_with_transient_faults():
     """Links and routers die and heal mid-run; afterwards the healed
     network must drain completely with nothing leaked or lost."""
     network = build_network(figure1_plan(), seed=103, fast_reclaim=True)
+    oracle = attach_oracle(network)
     injector = FaultInjector(network)
     rng = random.Random(99)
     channels = router_to_router_channels(network)
@@ -83,6 +88,8 @@ def test_chaos_traffic_with_transient_faults():
         endpoint.traffic_source = None
     assert network.run_until_quiet(max_cycles=100000)
     _assert_no_leaks(network)
+    oracle.check_quiescent(network.engine.cycle)
+    oracle.assert_clean()
     log = network.log
     assert log.abandoned() == []
     assert len(log.delivered()) > 100
