@@ -72,3 +72,30 @@ def test_single_router_tick_rate(benchmark, report):
         name="sim_performance_router",
     )
     assert rate > 1000
+
+
+def test_component_time_breakdown(report):
+    """Where a simulated cycle's wall time goes, by component class.
+
+    Uses the telemetry profiler rather than pytest-benchmark: the
+    point is the per-class share table, not a single number.  The
+    shares answer the roadmap question of what to optimize next;
+    the unwrapped cycles/second above stays the throughput truth.
+    """
+    from repro.telemetry import profile_engine
+
+    network = _loaded_network()
+    profiled = profile_engine(network.engine, cycles=CYCLES)
+    report(
+        "Simulator profile, loaded Figure 3 network:\n" + profiled.format(),
+        name="sim_performance_profile",
+    )
+    assert profiled.cycles == CYCLES
+    assert {"MetroRouter", "Endpoint", "Channel.advance"} <= set(
+        profiled.classes
+    )
+    # The wrappers must come off afterwards: a second run at full speed.
+    assert all(
+        "tick" not in vars(component)
+        for component in network.engine.components
+    )

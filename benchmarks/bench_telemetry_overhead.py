@@ -1,0 +1,72 @@
+"""Telemetry overhead: what instrumentation costs, on and off.
+
+The hook sites in routers, endpoints and channels are guarded so that
+a simulation without a bound :class:`~repro.telemetry.TelemetryHub`
+pays one attribute test per event — the design target is **under 5%
+overhead versus the pre-telemetry simulator** (the seed measured ~950
+cycles/second on the loaded Figure 3 network; see
+``docs/observability.md`` for recorded numbers).  This benchmark pins
+that budget: it times the same loaded network with telemetry absent,
+metrics-only, and metrics+spans, and asserts the disabled path stays
+within the floor the seed already enforced.
+"""
+
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.harness.load_sweep import figure3_network
+from repro.telemetry import TelemetryHub
+
+CYCLES = 400
+
+
+def _loaded_network(telemetry=None):
+    network = figure3_network(seed=19, telemetry=telemetry)
+    UniformRandomTraffic(64, 8, rate=0.05, message_words=20, seed=20).attach(network)
+    network.run(200)  # warm: connections in flight
+    return network
+
+
+def _rate(benchmark, network):
+    benchmark.pedantic(
+        lambda: network.run(CYCLES), rounds=3, iterations=1, warmup_rounds=1
+    )
+    return CYCLES / benchmark.stats["mean"]
+
+
+def test_disabled_telemetry_overhead(benchmark, report):
+    network = _loaded_network()
+    rate = _rate(benchmark, network)
+    report(
+        "Telemetry disabled (null-object fast path):\n"
+        "  {:.0f} simulated cycles/second".format(rate),
+        name="telemetry_overhead_disabled",
+    )
+    # Same sanity floor as the seed's bench_sim_performance test: a
+    # disabled-path regression past 5% would show up here long before
+    # it dragged the rate below the floor.
+    assert rate > 200
+
+
+def test_metrics_only_overhead(benchmark, report):
+    network = _loaded_network(TelemetryHub(spans=False))
+    rate = _rate(benchmark, network)
+    report(
+        "Telemetry metrics-only (sweep configuration):\n"
+        "  {:.0f} simulated cycles/second".format(rate),
+        name="telemetry_overhead_metrics",
+    )
+    assert rate > 150
+
+
+def test_full_telemetry_overhead(benchmark, report):
+    network = _loaded_network(TelemetryHub())
+    rate = _rate(benchmark, network)
+    spans = len(network.telemetry.spans.completed)
+    report(
+        "Telemetry metrics+spans (tracing configuration):\n"
+        "  {:.0f} simulated cycles/second, {} spans recorded".format(
+            rate, spans
+        ),
+        name="telemetry_overhead_full",
+    )
+    assert rate > 100
+    assert spans > 0

@@ -7,6 +7,8 @@
     python -m repro figure1
     python -m repro figure3 --measure 2500 --rates 0.002,0.02,0.16
     python -m repro figure3 --workers 4 --cache-dir ~/.cache/repro
+    python -m repro figure3 --metrics
+    python -m repro send 5 15 --trace-export trace.json
     python -m repro faults --links 8 --routers 4
     python -m repro faults --levels 0:0,8:0,8:4 --workers 4
     python -m repro saturation --workers 4
@@ -40,6 +42,35 @@ def _runner(args):
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=progress_printer() if args.progress else None,
+    )
+
+
+def _print_metrics(results):
+    """Merge per-trial snapshots (spec order) and print the summaries."""
+    from repro.harness.reporting import format_percentiles, format_stage_heatmap
+    from repro.telemetry import MetricsSnapshot
+
+    merged = MetricsSnapshot.merge_all(r.metrics for r in results)
+    if not len(merged):
+        return
+    print()
+    print(
+        format_percentiles(
+            merged,
+            [
+                "message.latency.cycles",
+                "message.queueing.cycles",
+                "message.attempts",
+                "channel.in_flight",
+            ],
+            title="Metrics: distributions over the merged sweep",
+        )
+    )
+    print()
+    print(
+        format_stage_heatmap(
+            merged, title="Metrics: mean backward-port utilization by stage"
+        )
     )
 
 
@@ -116,13 +147,16 @@ def _cmd_figure3(args):
     base = unloaded_latency(seed=args.seed, samples=8)
     print("Unloaded latency: {:.1f} cycles (paper: 28)\n".format(base))
     runner = _runner(args)
-    results = figure3_sweep(
+    sweep_kwargs = dict(
         rates=rates,
         seed=args.seed,
         warmup_cycles=args.warmup,
         measure_cycles=args.measure,
         runner=runner,
     )
+    if args.metrics:
+        sweep_kwargs["metrics"] = True
+    results = figure3_sweep(**sweep_kwargs)
     _report_runner_stats(runner)
     print(
         format_series(
@@ -141,6 +175,8 @@ def _cmd_figure3(args):
             y_label="mean latency (cycles)",
         )
     )
+    if args.metrics:
+        _print_metrics(results)
     return 0
 
 
@@ -158,7 +194,7 @@ def _cmd_faults(args):
             for level in args.levels.split(",")
         )
         runner = _runner(args)
-        results = fault_degradation_sweep(
+        sweep_kwargs = dict(
             fault_levels=levels,
             rate=args.rate,
             seed=args.seed,
@@ -166,6 +202,9 @@ def _cmd_faults(args):
             measure_cycles=args.measure,
             runner=runner,
         )
+        if args.metrics:
+            sweep_kwargs["metrics"] = True
+        results = fault_degradation_sweep(**sweep_kwargs)
         _report_runner_stats(runner)
         print(
             format_table(
@@ -173,6 +212,8 @@ def _cmd_faults(args):
                 title="Fault degradation sweep",
             )
         )
+        if args.metrics:
+            _print_metrics(results)
         status = 0
         if any(r.delivered_count == 0 for r in results):
             print("FAIL: a fault level delivered no messages", file=sys.stderr)
@@ -200,8 +241,11 @@ def _cmd_faults(args):
         seed=args.seed,
         warmup_cycles=args.warmup,
         measure_cycles=args.measure,
+        metrics=args.metrics,
     )
     print(format_table([result.as_dict()], title="Fault degradation point"))
+    if args.metrics:
+        _print_metrics([result])
     if result.delivered_count == 0:
         print("FAIL: faulted network delivered no messages", file=sys.stderr)
         return 1
@@ -238,7 +282,10 @@ def _cmd_saturation(args):
 
     runner = _runner(args)
     saturated, results = find_saturation(
-        seed=args.seed, measure_cycles=args.measure, runner=runner
+        seed=args.seed,
+        measure_cycles=args.measure,
+        metrics=args.metrics,
+        runner=runner,
     )
     _report_runner_stats(runner)
     print(
@@ -254,6 +301,8 @@ def _cmd_saturation(args):
             saturated.delivered_load, saturated.label
         )
     )
+    if args.metrics:
+        _print_metrics(results)
     if saturated.delivered_load <= 0:
         print("FAIL: network carried no traffic at any rate", file=sys.stderr)
         return 1
@@ -272,12 +321,29 @@ def _cmd_send(args):
         "figure3": figure3_plan,
         "fattree": fattree_plan,
     }
+    telemetry = None
+    if args.trace_export:
+        from repro.telemetry import TelemetryHub
+
+        telemetry = TelemetryHub()
     trace = Trace()
     network = build_network(
-        plans[args.network](), seed=args.seed, trace=trace, trace_routers=True
+        plans[args.network](),
+        seed=args.seed,
+        trace=trace,
+        trace_routers=True,
+        telemetry=telemetry,
     )
     message = network.send(args.src, Message(dest=args.dest, payload=[1, 2, 3, 4]))
     network.run_until_quiet(max_cycles=args.max_cycles)
+    if telemetry is not None:
+        document = telemetry.export_trace(args.trace_export)
+        print(
+            "wrote {} trace events to {} (open in Perfetto / "
+            "chrome://tracing)".format(
+                len(document["traceEvents"]), args.trace_export
+            )
+        )
     print(
         "{} -> {}: {} in {} cycles, {} attempt(s)".format(
             args.src, args.dest, message.outcome, message.latency, message.attempts
@@ -388,10 +454,17 @@ def build_parser():
     sub.add_parser("table5", help="Table 5 contemporary comparison")
     sub.add_parser("figure1", help="Figure 1 structural statistics")
 
+    metrics_help = (
+        "collect per-trial telemetry metrics and print merged "
+        "latency/occupancy percentiles plus a per-stage utilization "
+        "heatmap (identical for serial and parallel runs)"
+    )
+
     fig3 = sub.add_parser("figure3", help="Figure 3 latency/load sweep")
     fig3.add_argument("--rates", default="0.002,0.01,0.04,0.16")
     fig3.add_argument("--warmup", type=int, default=600)
     fig3.add_argument("--measure", type=int, default=2500)
+    fig3.add_argument("--metrics", action="store_true", help=metrics_help)
 
     faults = sub.add_parser("faults", help="fault-degradation point")
     faults.add_argument("--links", type=int, default=8)
@@ -413,9 +486,13 @@ def build_parser():
         help="with --levels: exit nonzero if any level's delivered load "
         "falls more than FRACTION below the first (baseline) level",
     )
+    faults.add_argument("--metrics", action="store_true", help=metrics_help)
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)
+    saturation.add_argument(
+        "--metrics", action="store_true", help=metrics_help
+    )
 
     sub.add_parser("breakdown", help="latency decomposition by message size")
 
@@ -426,6 +503,13 @@ def build_parser():
                       default="figure1")
     send.add_argument("--verbose", "-v", action="store_true")
     send.add_argument("--max-cycles", type=int, default=50000)
+    send.add_argument(
+        "--trace-export",
+        default=None,
+        metavar="FILE",
+        help="record the message's span timeline and write it as "
+        "Chrome trace-event JSON (load in Perfetto or chrome://tracing)",
+    )
 
     verify = sub.add_parser(
         "verify",

@@ -43,6 +43,7 @@ from repro.core.crossbar import CrossbarAllocator, RANDOM
 from repro.core.parameters import RouterConfig
 from repro.core.random_source import RandomStream, SharedRandomBus
 from repro.sim.component import Component
+from repro.telemetry.nullobj import NULL_TELEMETRY
 
 # Forward-port FSM states (exposed for tests via connection_state()).
 IDLE_STATE = "idle"          # no connection; waiting for a head word
@@ -136,6 +137,7 @@ class MetroRouter(Component):
         selection_policy=RANDOM,
         signal_timeout=64,
         trace=None,
+        telemetry=None,
     ):
         self.params = params
         self.name = name
@@ -150,6 +152,9 @@ class MetroRouter(Component):
         )
         self.signal_timeout = signal_timeout
         self.trace = trace
+        #: A live TelemetryHub or the null object; every event site
+        #: already funnels through _record, which guards on .enabled.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Channel ends, installed by the network builder via attach_*().
         self.forward_ends = [None] * params.i
         self.backward_ends = [None] * params.o
@@ -641,3 +646,5 @@ class MetroRouter(Component):
     def _record(self, kind, port, detail):
         if self.trace is not None:
             self.trace.record(self._cycle, self.name, kind, (port, detail))
+        if self.telemetry.enabled:
+            self.telemetry.router_event(self._cycle, self, kind, port, detail)

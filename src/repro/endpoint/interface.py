@@ -29,6 +29,7 @@ import random
 from repro.core import words as W
 from repro.endpoint import messages as M
 from repro.sim.component import Component
+from repro.telemetry.nullobj import NULL_TELEMETRY
 
 ACK_OK = 1
 ACK_BAD = 0
@@ -54,17 +55,19 @@ class _SendState:
         "phase",
         "words",
         "position",
+        "header_len",
         "statuses",
         "reply_words",
         "turn_seen",
         "timer",
     )
 
-    def __init__(self, message, port, words):
+    def __init__(self, message, port, words, header_len=0):
         self.message = message
         self.port = port
         self.phase = _STREAMING
         self.words = words
+        self.header_len = header_len
         self.position = 0
         self.statuses = []
         self.reply_words = []
@@ -132,6 +135,7 @@ class Endpoint(Component):
         seed=0,
         traffic_source=None,
         trace=None,
+        telemetry=None,
     ):
         self.index = index
         self.name = "ep{}".format(index)
@@ -145,6 +149,10 @@ class Endpoint(Component):
         self.reply_handler = reply_handler
         self.verify_stage_checksums = verify_stage_checksums
         self.trace = trace
+        #: A live TelemetryHub, or the null object when telemetry is
+        #: off (hot paths guard on ``.enabled`` — a single attribute
+        #: test on the disabled path).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._rng = random.Random((seed << 16) ^ index)
         self.traffic_source = traffic_source
 
@@ -227,15 +235,17 @@ class Endpoint(Component):
         if message.start_cycle is None:
             message.start_cycle = cycle
         message.attempts += 1
-        words = self._build_stream(message)
-        self._sends[port] = _SendState(message, port, words)
+        words, header_len = self._build_stream(message)
+        self._sends[port] = _SendState(message, port, words, header_len)
         self._record("send-start", (message.dest, message.attempts))
+        if self.telemetry.enabled:
+            self.telemetry.attempt_started(cycle, self, port, message)
 
     def _build_stream(self, message):
         header = [W.data(v) for v in self.codec.encode(message.dest)]
         payload = [W.data(v) for v in message.payload]
         checksum = W.data(W.checksum_of(message.payload))
-        return header + payload + [checksum, W.TURN_WORD]
+        return header + payload + [checksum, W.TURN_WORD], len(header)
 
     # ------------------------------------------------------------------
     # Send-side FSM
@@ -256,6 +266,10 @@ class Endpoint(Component):
             if send.position >= len(send.words):
                 send.phase = _AWAIT_REPLY
                 send.timer = 0
+                if self.telemetry.enabled:
+                    self.telemetry.attempt_turn(self._cycle, self, send.port)
+            elif send.position == send.header_len and self.telemetry.enabled:
+                self.telemetry.attempt_stream(self._cycle, self, send.port)
             return
 
         if send.phase == _AWAIT_REPLY:
@@ -310,6 +324,10 @@ class Endpoint(Component):
         self.log.record(message)
         del self._sends[send.port]
         self._record("send-delivered", (message.dest, message.attempts))
+        if self.telemetry.enabled:
+            self.telemetry.attempt_finished(
+                self._cycle, self, send.port, message, M.DELIVERED
+            )
 
     def _stage_checksums_ok(self, send):
         expected = self.expected_stage_checksums(send.message)
@@ -348,6 +366,11 @@ class Endpoint(Component):
             message.blocked_stages.append(blocked_stage)
         del self._sends[send.port]
         self._record("send-failed", (message.dest, cause))
+        if self.telemetry.enabled:
+            self.telemetry.attempt_finished(
+                self._cycle, self, send.port, message, cause,
+                blocked_stage=blocked_stage,
+            )
         if (
             self.max_attempts is not None
             and message.attempts >= self.max_attempts
@@ -443,6 +466,10 @@ class Endpoint(Component):
         state.delay = delay
         state.phase = _RX_REPLY
         self._record("recv-message", (len(payload), checksum_ok))
+        if self.telemetry.enabled:
+            self.telemetry.message_received(
+                self._cycle, self, len(payload), checksum_ok
+            )
 
     def _record(self, kind, detail):
         if self.trace is not None:

@@ -27,7 +27,10 @@ from repro.harness.load_sweep import (
 )
 from repro.harness.reporting import (
     ascii_chart,
+    format_histogram,
+    format_percentiles,
     format_series,
+    format_stage_heatmap,
     format_table,
     format_trial_event,
     progress_printer,
@@ -58,7 +61,10 @@ __all__ = [
     "figure1_network",
     "figure3_network",
     "figure3_sweep",
+    "format_histogram",
+    "format_percentiles",
     "format_series",
+    "format_stage_heatmap",
     "format_table",
     "format_trial_event",
     "load_trial_specs",

@@ -13,6 +13,12 @@ import numpy as np
 class ExperimentResult:
     """Statistics over one measured window."""
 
+    #: A :class:`~repro.telemetry.metrics.MetricsSnapshot` when the
+    #: experiment ran with a telemetry hub bound, else None.  Class
+    #: attribute, so results pickled before this field existed (old
+    #: cache entries) still answer ``result.metrics``.
+    metrics = None
+
     def __init__(
         self,
         label,
@@ -140,6 +146,7 @@ def run_experiment(
     label="",
     message_words=None,
     deadline_cycles=None,
+    telemetry=None,
 ):
     """Warm up, measure, and summarize one workload on one network.
 
@@ -153,6 +160,11 @@ def run_experiment(
     a trial that somehow exceeds it raises
     :class:`~repro.sim.engine.EngineDeadlineError` instead of spinning
     — the guard worker pools rely on to never hang on a runaway trial.
+
+    ``telemetry`` is the :class:`~repro.telemetry.TelemetryHub` already
+    bound to ``network`` (if any): its picklable metrics snapshot is
+    attached to the result as ``result.metrics``, which is how sweep
+    trials ship metrics back across process boundaries.
     """
     if deadline_cycles is not None:
         network.engine.set_deadline(network.engine.cycle + deadline_cycles)
@@ -178,7 +190,7 @@ def run_experiment(
         for m in network.log.abandoned()
         if m.queued_cycle is not None and start <= m.queued_cycle < end
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         label=label,
         delivered=window,
         abandoned=abandoned,
@@ -190,3 +202,6 @@ def run_experiment(
         ),
         attempt_failures=network.log.attempt_failures,
     )
+    if telemetry is not None:
+        result.metrics = telemetry.snapshot()
+    return result

@@ -25,9 +25,21 @@ def run_fault_point(
     warmup_cycles=1500,
     measure_cycles=6000,
     network_factory=figure3_network,
+    metrics=False,
 ):
-    """One (fault level, load) measurement."""
-    network = network_factory(seed=seed)
+    """One (fault level, load) measurement.
+
+    ``metrics=True`` attaches a metrics-only telemetry snapshot to the
+    result (see :func:`~repro.harness.load_sweep.run_load_point`).
+    """
+    telemetry = None
+    if metrics:
+        from repro.telemetry import TelemetryHub
+
+        telemetry = TelemetryHub(spans=False)
+        network = network_factory(seed=seed, telemetry=telemetry)
+    else:
+        network = network_factory(seed=seed)
     injector = FaultInjector(network)
     faults = random_fault_scenario(
         network,
@@ -52,6 +64,7 @@ def run_fault_point(
         warmup_cycles=warmup_cycles,
         measure_cycles=measure_cycles,
         label=label,
+        telemetry=telemetry,
     )
 
 

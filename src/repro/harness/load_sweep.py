@@ -61,9 +61,23 @@ def run_load_point(
     measure_cycles=6000,
     network_factory=figure3_network,
     traffic_class=UniformRandomTraffic,
+    metrics=False,
 ):
-    """One point of the latency/load curve."""
-    network = network_factory(seed=seed)
+    """One point of the latency/load curve.
+
+    ``metrics=True`` binds a metrics-only
+    :class:`~repro.telemetry.TelemetryHub` to the network and attaches
+    its picklable snapshot to the result (``result.metrics``); spans
+    stay off — a sweep point generates far too many to keep.
+    """
+    telemetry = None
+    if metrics:
+        from repro.telemetry import TelemetryHub
+
+        telemetry = TelemetryHub(spans=False)
+        network = network_factory(seed=seed, telemetry=telemetry)
+    else:
+        network = network_factory(seed=seed)
     traffic = traffic_class(
         n_endpoints=network.plan.n_endpoints,
         w=network.codec.w,
@@ -77,6 +91,7 @@ def run_load_point(
         warmup_cycles=warmup_cycles,
         measure_cycles=measure_cycles,
         label="rate={}".format(rate),
+        telemetry=telemetry,
     )
     return result
 

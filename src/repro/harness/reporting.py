@@ -4,10 +4,15 @@ Benchmarks print the same rows/series the paper reports; these helpers
 keep that output consistent and readable in a terminal.  They also
 render the parallel runner's progress events
 (:func:`format_trial_event` / :func:`progress_printer`) so sweeps can
-narrate per-trial completion and cache hits.
+narrate per-trial completion and cache hits, and the telemetry
+subsystem's aggregates (:func:`format_histogram`,
+:func:`format_percentiles`, :func:`format_stage_heatmap`) so
+metrics-enabled sweeps print distributions, not just means.
 """
 
 import sys
+
+from repro.telemetry.metrics import bucket_bounds
 
 
 def format_trial_event(event):
@@ -119,6 +124,111 @@ def ascii_chart(points, width=50, height=12, title=None, x_label="x", y_label="y
         )
     )
     lines.append("{:>10}  ({} vs {})".format("", y_label, x_label))
+    return "\n".join(lines)
+
+
+def format_histogram(histogram, title=None, width=40):
+    """ASCII bar chart of one log2-bucketed telemetry histogram.
+
+    ``histogram`` is a :class:`~repro.telemetry.metrics.Histogram`
+    (typically rebuilt from a snapshot via
+    ``snapshot.histogram(name)``).  One row per occupied bucket:
+    half-open value range, count, and a bar scaled to the modal bucket.
+    """
+    if not histogram.count:
+        return "(empty histogram)"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "count={} mean={:.1f} min={:g} max={:g}".format(
+            histogram.count, histogram.mean, histogram.low, histogram.high
+        )
+    )
+    peak = max(histogram.buckets.values())
+    for index in sorted(histogram.buckets):
+        low, high = bucket_bounds(index)
+        count = histogram.buckets[index]
+        bar = "#" * max(1, int(round(width * count / peak)))
+        lines.append(
+            "[{:>8g}, {:>8g})  {:>8}  {}".format(low, high, count, bar)
+        )
+    return "\n".join(lines)
+
+
+def format_percentiles(
+    snapshot, names, qs=(50, 90, 99), title=None, floatfmt="{:.1f}"
+):
+    """A count/mean/percentile table over histogram series.
+
+    ``names`` selects unlabeled histogram series from a
+    :class:`~repro.telemetry.metrics.MetricsSnapshot`; names absent
+    from the snapshot are skipped, so one call covers hubs configured
+    with different instrument sets.
+    """
+    rows = []
+    for name in names:
+        try:
+            histogram = snapshot.histogram(name)
+        except (KeyError, ValueError):
+            continue
+        row = {
+            "metric": name,
+            "count": histogram.count,
+            "mean": histogram.mean,
+            "min": float(histogram.low) if histogram.count else None,
+        }
+        for q in qs:
+            row["p{:g}".format(q)] = histogram.percentile(q)
+        row["max"] = float(histogram.high) if histogram.count else None
+        rows.append(row)
+    if not rows:
+        return "(no histogram series)"
+    return format_table(rows, title=title, floatfmt=floatfmt)
+
+
+def format_stage_heatmap(snapshot, title=None, width=30):
+    """Per-stage router-utilization bars from ``router.util.*`` series.
+
+    Consumes the series the :class:`~repro.telemetry.TelemetryHub` and
+    :class:`~repro.harness.utilization.UtilizationProbe` both emit:
+    ``router.util.samples`` (counter), ``router.util.busy`` and
+    ``router.util.ports`` (labeled by router and stage).  Utilization
+    is busy-port samples over total port-samples; each stage shows its
+    mean as a bar plus the stage's hottest router.  Correct on merged
+    sweep snapshots too — busy and samples both sum across trials.
+    """
+    samples = snapshot.get("router.util.samples", 0)
+    if not samples:
+        return "(no utilization samples)"
+    ports = {}
+    for labels, _kind, data in snapshot.labeled("router.util.ports"):
+        ports[labels.get("router")] = data[0]
+    stages = {}
+    for labels, _kind, busy in snapshot.labeled("router.util.busy"):
+        router = labels.get("router")
+        n_ports = ports.get(router)
+        if not n_ports:
+            continue
+        utilization = busy / (samples * n_ports)
+        stages.setdefault(labels.get("stage"), []).append(
+            (utilization, router)
+        )
+    if not stages:
+        return "(no utilization samples)"
+    lines = []
+    if title:
+        lines.append(title)
+    for stage in sorted(stages, key=str):
+        values = stages[stage]
+        mean = sum(u for u, _r in values) / len(values)
+        hot_util, hot_router = max(values)
+        bar = "#" * int(round(width * min(mean, 1.0)))
+        lines.append(
+            "stage {:<3} {:<{w}} {:5.1%}  (max {:.1%} @ r{})".format(
+                stage, bar or ".", mean, hot_util, hot_router, w=width
+            )
+        )
     return "\n".join(lines)
 
 

@@ -37,10 +37,14 @@ def saturation_trial_specs(
     message_words=20,
     warmup_cycles=800,
     measure_cycles=3000,
+    metrics=False,
 ):
     """The geometric rate ladder as :class:`TrialSpec` objects."""
     specs = []
     rate = start_rate
+    # metrics only enters the params (and hence the trial cache key)
+    # when requested, so metric-free sweeps keep their cache entries.
+    extra = {"metrics": True} if metrics else {}
     for _step in range(max_steps):
         specs.append(
             TrialSpec(
@@ -51,6 +55,7 @@ def saturation_trial_specs(
                     message_words=message_words,
                     warmup_cycles=warmup_cycles,
                     measure_cycles=measure_cycles,
+                    **extra
                 ),
                 seed=derive_seed(seed, "saturation", rate),
                 label="rate={:.4g}".format(rate),
@@ -90,6 +95,7 @@ def find_saturation(
     message_words=20,
     warmup_cycles=800,
     measure_cycles=3000,
+    metrics=False,
     workers=1,
     cache_dir=None,
     progress=None,
@@ -113,6 +119,7 @@ def find_saturation(
         message_words=message_words,
         warmup_cycles=warmup_cycles,
         measure_cycles=measure_cycles,
+        metrics=metrics,
     )
     if runner is None:
         runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)

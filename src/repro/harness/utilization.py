@@ -5,46 +5,80 @@ aggregates per stage and per router — the data behind congestion
 heatmaps.  Random output selection should keep utilization flat within
 each dilation group and each stage; a hotspot workload shows up as a
 sharp utilization spike on the routers serving the hot destination.
+
+The probe stores its samples in a
+:class:`~repro.telemetry.metrics.MetricsRegistry` under the same
+``router.util.*`` series the :class:`~repro.telemetry.TelemetryHub`
+emits, so probe data renders with the same reporting helpers
+(:func:`~repro.harness.reporting.format_stage_heatmap`) and merges
+with sweep snapshots.
 """
 
 from repro.sim.component import Component
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class UtilizationProbe(Component):
     """A clocked sampler of router occupancy.
 
-    Register it with the network's engine *after* building traffic;
-    ``period`` controls sampling cost (1 = every cycle).
+    Registered as an engine *observer* (see :func:`attach_probe`), so
+    each sample sees fully-staged component state regardless of
+    registration order; ``period`` controls sampling cost (1 = every
+    cycle).
+
+    :param registry: a shared :class:`MetricsRegistry` to record into;
+        omitted, the probe owns a private one.
     """
 
-    def __init__(self, network, period=4):
+    def __init__(self, network, period=4, registry=None):
         self.name = "utilization-probe"
         self.network = network
         self.period = period
-        self.samples = 0
-        #: router key -> busy-port samples summed
-        self.busy = {key: 0 for key in network.router_grid}
-        self._ports = {
-            key: router.params.o
-            for key, router in network.router_grid.items()
-        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._samples = self.registry.counter("router.util.samples")
+        #: router key -> (router, busy counter); ports are published as
+        #: gauges so a snapshot is self-describing.
+        self._counters = {}
+        self._ports = {}
+        for key, router in network.router_grid.items():
+            stage = key[0]
+            label = "{}.{}.{}".format(*key)
+            self._counters[key] = (
+                router,
+                self.registry.counter(
+                    "router.util.busy", router=label, stage=stage
+                ),
+            )
+            self.registry.gauge(
+                "router.util.ports", router=label, stage=stage
+            ).set(router.params.o)
+            self._ports[key] = router.params.o
+
+    @property
+    def samples(self):
+        return self._samples.value
 
     def tick(self, cycle):
         if cycle % self.period:
             return
-        self.samples += 1
-        for key, router in self.network.router_grid.items():
-            self.busy[key] += len(router.busy_backward_ports())
+        self._samples.inc()
+        for router, counter in self._counters.values():
+            counter.inc(len(router.busy_backward_ports()))
 
     # ------------------------------------------------------------------
 
+    def snapshot(self):
+        """A picklable snapshot of the probe's ``router.util.*`` series."""
+        return self.registry.snapshot()
+
     def router_utilization(self):
         """key -> mean fraction of backward ports busy."""
-        if not self.samples:
-            return {key: 0.0 for key in self.busy}
+        samples = self._samples.value
+        if not samples:
+            return {key: 0.0 for key in self._counters}
         return {
-            key: self.busy[key] / (self.samples * self._ports[key])
-            for key in self.busy
+            key: counter.value / (samples * self._ports[key])
+            for key, (_router, counter) in self._counters.items()
         }
 
     def stage_utilization(self):
@@ -75,8 +109,13 @@ class UtilizationProbe(Component):
         return max(values) / mean
 
 
-def attach_probe(network, period=4):
-    """Create and register a probe on ``network``; returns it."""
-    probe = UtilizationProbe(network, period=period)
-    network.engine.add_component(probe)
+def attach_probe(network, period=4, registry=None):
+    """Create and register a probe on ``network``; returns it.
+
+    The probe is an engine observer, not a component: observers tick
+    after every component has staged its cycle, so the sample is taken
+    from a consistent network state however the engine was assembled.
+    """
+    probe = UtilizationProbe(network, period=period, registry=registry)
+    network.engine.add_observer(probe)
     return probe

@@ -35,7 +35,12 @@ class MetroNetwork:
     * ``channels`` — ``{(src_key, dst_key): Channel}`` for fault injection.
     * ``log`` — the shared message log.
     * ``codec`` — the header codec endpoints encode with.
+    * ``telemetry`` — the bound TelemetryHub, or None.
     """
+
+    #: Overridden per-instance when a hub is bound (builder ``telemetry=``
+    #: argument or :func:`repro.telemetry.attach_telemetry`).
+    telemetry = None
 
     def __init__(self, plan, engine, routers, router_grid, endpoints, channels, log, codec, links):
         self.plan = plan
@@ -121,6 +126,7 @@ def build_network(
     endpoint_kwargs=None,
     trace=None,
     trace_routers=False,
+    telemetry=None,
 ):
     """Instantiate every component of a METRO network.
 
@@ -142,6 +148,10 @@ def build_network(
     :param trace: a shared :class:`~repro.sim.trace.Trace`; endpoint
         events always go there, router events only when
         ``trace_routers`` is set (they are voluminous).
+    :param telemetry: an unbound
+        :class:`~repro.telemetry.TelemetryHub`; it is bound to the
+        finished network (engine observer + per-component hooks).
+        Omitted, every component carries the null-telemetry fast path.
     """
     rng = random.Random(seed)
     engine = Engine()
@@ -213,9 +223,13 @@ def build_network(
         _attach(router_grid, endpoints, link.src, channel.a, is_source=True, delay=delay)
         _attach(router_grid, endpoints, link.dst, channel.b, is_source=False, delay=delay)
 
-    return MetroNetwork(
+    network = MetroNetwork(
         plan, engine, routers, router_grid, endpoints, channels, log, codec, links
     )
+    if telemetry is not None:
+        telemetry.bind(network)
+        network.telemetry = telemetry
+    return network
 
 
 def _attach(router_grid, endpoints, ref, channel_end, is_source, delay):

@@ -83,6 +83,7 @@ class Channel:
         "fault_b_to_a",
         "dead",
         "half_duplex_violations",
+        "telemetry",
     )
 
     def __init__(self, delay=1, name="channel"):
@@ -108,6 +109,9 @@ class Channel:
         #: flow, as they would in hardware where simultaneous driving
         #: produces garbage; a nonzero count means a protocol bug.
         self.half_duplex_violations = 0
+        #: Set by TelemetryHub.bind to count wire activity; None (the
+        #: default) keeps the advance hot path free of telemetry work.
+        self.telemetry = None
 
     @property
     def a(self):
@@ -123,13 +127,16 @@ class Channel:
         """Shift all four pipelines by one cycle (phase two of a tick)."""
         down = self._a_to_b.staged
         up = self._b_to_a.staged
-        if (
-            down is not None
-            and up is not None
-            and down.kind == "data"
-            and up.kind == "data"
-        ):
-            self.half_duplex_violations += 1
+        if down is not None or up is not None:
+            if (
+                down is not None
+                and up is not None
+                and down.kind == "data"
+                and up.kind == "data"
+            ):
+                self.half_duplex_violations += 1
+            if self.telemetry is not None:
+                self.telemetry.channel_activity(self, down, up)
         for pipe in (self._a_to_b, self._b_to_a, self._bcb_b_to_a, self._bcb_a_to_b):
             if pipe.occupied or pipe.staged is not None:
                 pipe.advance()

@@ -6,7 +6,7 @@ attached.  Traces are the raw material for the experiment harness's
 statistics and for debugging protocol interactions.
 """
 
-from collections import Counter
+from collections import Counter, deque
 
 
 class TraceEvent:
@@ -33,25 +33,55 @@ class Trace:
     kinds; with the default of None every event is kept.  Counters are
     always maintained, so long statistical runs can disable full event
     retention (``keep_events=False``) and still aggregate outcomes.
+
+    ``max_events`` bounds retention to the most recent N events (a ring
+    buffer): the oldest event is evicted on overflow and counted in
+    ``dropped_events``.  Counters keep counting evicted events.
+
+    Events are indexed by kind as they arrive, so :meth:`of_kind` costs
+    one dict lookup plus a copy of the matching events rather than a
+    scan of the whole trace.
     """
 
-    def __init__(self, enabled_kinds=None, keep_events=True):
-        self.events = []
-        self.counts = Counter()
+    def __init__(self, enabled_kinds=None, keep_events=True, max_events=None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(
+                "max_events must be >= 1 or None, got {}".format(max_events)
+            )
         self.enabled_kinds = enabled_kinds
         self.keep_events = keep_events
+        self.max_events = max_events
+        self.counts = Counter()
+        self.dropped_events = 0
+        self.events = deque(maxlen=max_events) if max_events else []
+        self._by_kind = {}
 
     def record(self, cycle, source, kind, detail=None):
         if self.enabled_kinds is not None and kind not in self.enabled_kinds:
             return
         self.counts[kind] += 1
-        if self.keep_events:
-            self.events.append(TraceEvent(cycle, source, kind, detail))
+        if not self.keep_events:
+            return
+        if self.max_events is not None and len(self.events) == self.max_events:
+            # The deque drops its head on append; mirror the eviction
+            # in the per-kind index (the head of its kind's bucket —
+            # both structures preserve arrival order).
+            evicted = self.events[0]
+            self._by_kind[evicted.kind].popleft()
+            self.dropped_events += 1
+        event = TraceEvent(cycle, source, kind, detail)
+        self.events.append(event)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = deque()
+        bucket.append(event)
 
     def of_kind(self, kind):
         """All recorded events of the given kind, in time order."""
-        return [event for event in self.events if event.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def clear(self):
-        self.events = []
+        self.events = deque(maxlen=self.max_events) if self.max_events else []
         self.counts = Counter()
+        self._by_kind = {}
+        self.dropped_events = 0

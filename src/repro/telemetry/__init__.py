@@ -1,0 +1,49 @@
+"""Observability for the METRO reproduction.
+
+Three layers, composable and individually optional:
+
+* **Metrics** (:mod:`repro.telemetry.metrics`) — counters, gauges and
+  log-bucketed histograms with hierarchical labels, snapshotted into
+  picklable, mergeable :class:`MetricsSnapshot` objects so parallel
+  sweeps aggregate across worker processes.
+* **Spans** (:mod:`repro.telemetry.spans`) — message-lifecycle span
+  trees and router point events, exportable as Chrome trace-event
+  JSON (Perfetto-loadable), with an optional ring buffer for bounded
+  memory.
+* **Profiler** (:mod:`repro.telemetry.profiler`) — per-component-class
+  tick time, cycles/second and allocation deltas for the simulator
+  itself.
+
+The :class:`TelemetryHub` ties the first two to a live network; when
+no hub is bound, components carry :data:`NULL_TELEMETRY` and the
+instrumentation costs one attribute test per event site.  See
+``docs/observability.md``.
+"""
+
+from repro.telemetry.hub import NULL_TELEMETRY, TelemetryHub, attach_telemetry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.profiler import ProfileReport, SimProfiler, profile_engine
+from repro.telemetry.spans import Span, SpanRecorder, validate_trace_events
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "TelemetryHub",
+    "attach_telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ProfileReport",
+    "SimProfiler",
+    "profile_engine",
+    "Span",
+    "SpanRecorder",
+    "validate_trace_events",
+]

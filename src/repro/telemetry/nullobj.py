@@ -1,0 +1,46 @@
+"""The disabled-telemetry null object.
+
+Routers and endpoints hold a ``telemetry`` attribute that is either a
+live :class:`~repro.telemetry.hub.TelemetryHub` or this null object.
+Hot paths guard every hook call with ``if self.telemetry.enabled:`` —
+one attribute load and a truth test when telemetry is off, which is
+what keeps the disabled path within a few percent of an
+uninstrumented simulator (see ``benchmarks/bench_telemetry_overhead``).
+The no-op methods below exist so un-guarded call sites (cold paths,
+user code) also work against the null object.
+"""
+
+
+class NullTelemetry:
+    """Does nothing, cheaply.  There is one instance: ``NULL_TELEMETRY``."""
+
+    enabled = False
+
+    def attempt_started(self, cycle, endpoint, port, message):
+        pass
+
+    def attempt_stream(self, cycle, endpoint, port):
+        pass
+
+    def attempt_turn(self, cycle, endpoint, port):
+        pass
+
+    def attempt_finished(
+        self, cycle, endpoint, port, message, outcome, blocked_stage=None
+    ):
+        pass
+
+    def message_received(self, cycle, endpoint, n_words, checksum_ok):
+        pass
+
+    def router_event(self, cycle, router, kind, port, detail):
+        pass
+
+    def channel_activity(self, channel, down, up):
+        pass
+
+    def __repr__(self):
+        return "<NullTelemetry>"
+
+
+NULL_TELEMETRY = NullTelemetry()

@@ -57,3 +57,25 @@ def test_period_controls_sampling():
 def test_stage_utilization_keys():
     _network, probe = _loaded_network(UniformRandomTraffic, rate=0.02)
     assert set(probe.stage_utilization()) == {0, 1, 2}
+
+
+def test_probe_registers_as_engine_observer():
+    """The probe must sample as an observer (post-tick, fully staged
+    state), not as a component whose view depends on registration order."""
+    network = build_network(figure1_plan(), seed=93)
+    probe = attach_probe(network)
+    assert probe in network.engine.observers
+    assert probe not in network.engine.components
+
+
+def test_probe_snapshot_renders_with_stage_heatmap():
+    from repro.harness.reporting import format_stage_heatmap
+
+    _network, probe = _loaded_network(UniformRandomTraffic, rate=0.05)
+    snapshot = probe.snapshot()
+    assert snapshot.value("router.util.samples") == probe.samples
+    text = format_stage_heatmap(snapshot)
+    assert text.startswith("stage 0")
+    # The snapshot-derived numbers agree with the probe's own math.
+    stage0 = probe.stage_utilization()[0]
+    assert "{:5.1%}".format(stage0).strip() in text

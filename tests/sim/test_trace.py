@@ -42,3 +42,46 @@ def test_event_repr_is_readable():
     event = TraceEvent(5, "r1.0.2", "conn-blocked", (3, "fast"))
     text = repr(event)
     assert "r1.0.2" in text and "conn-blocked" in text
+
+
+def test_of_kind_uses_index_after_interleaved_records():
+    trace = Trace()
+    for cycle in range(50):
+        trace.record(cycle, "r0", "a" if cycle % 3 else "b")
+    assert [e.cycle for e in trace.of_kind("b")] == list(range(0, 50, 3))
+    assert len(trace.of_kind("a")) + len(trace.of_kind("b")) == 50
+    assert trace.of_kind("missing") == []
+
+
+def test_max_events_ring_buffer_evicts_oldest():
+    trace = Trace(max_events=10)
+    for cycle in range(25):
+        trace.record(cycle, "r0", "even" if cycle % 2 == 0 else "odd")
+    assert len(trace.events) == 10
+    assert trace.dropped_events == 15
+    assert [e.cycle for e in trace.events] == list(range(15, 25))
+    # The per-kind index mirrors the eviction exactly.
+    assert [e.cycle for e in trace.of_kind("even")] == [16, 18, 20, 22, 24]
+    assert [e.cycle for e in trace.of_kind("odd")] == [15, 17, 19, 21, 23]
+    # Counters keep counting past the ring.
+    assert trace.counts["even"] == 13
+    assert trace.counts["odd"] == 12
+
+
+def test_max_events_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Trace(max_events=0)
+
+
+def test_clear_resets_ring_and_index():
+    trace = Trace(max_events=3)
+    for cycle in range(5):
+        trace.record(cycle, "r0", "k")
+    trace.clear()
+    assert len(trace.events) == 0
+    assert trace.dropped_events == 0
+    assert trace.of_kind("k") == []
+    trace.record(9, "r0", "k")
+    assert [e.cycle for e in trace.of_kind("k")] == [9]

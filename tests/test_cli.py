@@ -121,6 +121,51 @@ def test_breakdown(capsys):
     assert "injection_dominates" in out
 
 
+def test_send_trace_export_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_trace_events
+
+    path = tmp_path / "trace.json"
+    out = _run(capsys, ["send", "5", "15", "--trace-export", str(path)])
+    assert "wrote" in out and "trace events" in out
+    document = json.loads(path.read_text())
+    n_events = validate_trace_events(document)
+    assert n_events > 0
+    names = {event["name"] for event in document["traceEvents"]}
+    # The full send lifecycle is on the timeline.
+    assert {"attempt", "setup", "stream", "reply", "deliver"} <= names
+
+
+def test_figure3_metrics_prints_percentiles_and_heatmap(capsys):
+    out = _run(
+        capsys,
+        ["figure3", "--rates", "0.01,0.05", "--warmup", "150",
+         "--measure", "400", "--metrics"],
+    )
+    assert "message.latency.cycles" in out
+    assert "utilization by stage" in out
+    assert "stage 0" in out
+
+
+def test_figure3_metrics_serial_equals_parallel(capsys):
+    argv = ["figure3", "--rates", "0.01,0.05", "--warmup", "150",
+            "--measure", "400", "--metrics"]
+    serial = _run(capsys, argv)
+    parallel = _run(capsys, ["--workers", "2"] + argv)
+    assert serial == parallel
+
+
+def test_faults_metrics_point(capsys):
+    out = _run(
+        capsys,
+        ["faults", "--links", "2", "--warmup", "150", "--measure", "400",
+         "--metrics"],
+    )
+    assert "Fault degradation point" in out
+    assert "message.latency.cycles" in out
+
+
 # ---------------------------------------------------------------------------
 # Exit codes: failures must be visible to shells and CI, not printed-and-0
 # ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.latency_model",
     "repro.harness",
     "repro.baseline",
+    "repro.telemetry",
 ]
 
 
@@ -100,6 +101,11 @@ SUBMODULES = [
     "repro.baseline.builder",
     "repro.baseline.harness",
     "repro.baseline.wormhole",
+    "repro.telemetry.hub",
+    "repro.telemetry.metrics",
+    "repro.telemetry.nullobj",
+    "repro.telemetry.profiler",
+    "repro.telemetry.spans",
     "repro.cli",
 ]
 
