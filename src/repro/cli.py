@@ -11,6 +11,9 @@
     python -m repro send 5 15 --trace-export trace.json
     python -m repro faults --links 8 --routers 4
     python -m repro faults --levels 0:0,8:0,8:4 --workers 4
+    python -m repro faults --levels 0:0,8:4 --max-attempts 40 --max-undeliverable 0
+    python -m repro chaos --seeds 4 --compare --workers 4
+    python -m repro chaos --seeds 2 --min-availability 0.8 --snapshot chaos.json
     python -m repro saturation --workers 4
     python -m repro send 5 15 --network figure1
     python -m repro verify --trials 100 --workers 4
@@ -19,9 +22,11 @@
 
 Commands exit nonzero on failure: ``send`` when the message is not
 delivered, ``faults`` when the degraded network delivers nothing (or
-degrades past ``--max-degradation``), ``saturation`` when no saturation
-point is found, ``verify`` on any simulator-vs-model mismatch or
-protocol violation.
+degrades past ``--max-degradation`` / abandons more than
+``--max-undeliverable`` messages), ``chaos`` when a soak misses its
+service-level bounds, ``saturation`` when no saturation point is
+found, ``verify`` on any simulator-vs-model mismatch or protocol
+violation.
 
 ``--workers N`` fans a sweep's independent trials across N worker
 processes; results are bit-identical to a serial run for the same
@@ -204,6 +209,8 @@ def _cmd_faults(args):
         )
         if args.metrics:
             sweep_kwargs["metrics"] = True
+        if args.max_attempts is not None:
+            sweep_kwargs["max_attempts"] = args.max_attempts
         results = fault_degradation_sweep(**sweep_kwargs)
         _report_runner_stats(runner)
         print(
@@ -218,10 +225,22 @@ def _cmd_faults(args):
         if any(r.delivered_count == 0 for r in results):
             print("FAIL: a fault level delivered no messages", file=sys.stderr)
             status = 1
-        if args.max_degradation is not None:
-            for result, floor in degradation_failures(
-                results, args.max_degradation
-            ):
+        for result, floor in degradation_failures(
+            results,
+            max_degradation=args.max_degradation,
+            max_undeliverable=args.max_undeliverable,
+        ):
+            if floor is None:
+                print(
+                    "FAIL: {} abandoned {} message(s), over the "
+                    "--max-undeliverable bound {}".format(
+                        result.label,
+                        result.undeliverable,
+                        args.max_undeliverable,
+                    ),
+                    file=sys.stderr,
+                )
+            else:
                 print(
                     "FAIL: {} delivered {:.4f} words/endpoint-cycle, "
                     "below the {:.0%}-degradation floor {:.4f}".format(
@@ -232,7 +251,7 @@ def _cmd_faults(args):
                     ),
                     file=sys.stderr,
                 )
-                status = 1
+            status = 1
         return status
     result = run_fault_point(
         n_dead_links=args.links,
@@ -242,6 +261,7 @@ def _cmd_faults(args):
         warmup_cycles=args.warmup,
         measure_cycles=args.measure,
         metrics=args.metrics,
+        max_attempts=args.max_attempts,
     )
     print(format_table([result.as_dict()], title="Fault degradation point"))
     if args.metrics:
@@ -250,6 +270,102 @@ def _cmd_faults(args):
         print("FAIL: faulted network delivered no messages", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_chaos(args):
+    from repro.harness.chaos import chaos_slo_failures, chaos_sweep
+    from repro.harness.reporting import format_table, sparkline
+
+    heal_modes = (True, False) if args.compare else (True,)
+    runner = _runner(args)
+    results = chaos_sweep(
+        seeds=args.seeds,
+        seed=args.seed,
+        self_heal=heal_modes,
+        n_windows=args.windows,
+        window_cycles=args.window_cycles,
+        warmup_windows=args.warmup_windows,
+        n_flaky_links=args.flaky_links,
+        n_dead_routers=args.dead_routers,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        rate=args.rate,
+        metrics=args.metrics or bool(args.snapshot),
+        oracle=args.oracle,
+        runner=runner,
+    )
+    _report_runner_stats(runner)
+    rows = []
+    for result in results:
+        row = result.as_dict()
+        row["windows"] = sparkline(
+            result.windows, lo=0, hi=max(result.baseline_rate, 1)
+        )
+        del row["fault_events"]
+        del row["seed"]
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            title="Chaos soak: {} seed(s), {} windows x {} cycles, "
+            "{} flaky link(s) + {} dead router(s)".format(
+                args.seeds,
+                args.windows,
+                args.window_cycles,
+                args.flaky_links,
+                args.dead_routers,
+            ),
+            floatfmt="{:.2f}",
+        )
+    )
+    if args.metrics:
+        from repro.harness.reporting import format_percentiles
+        from repro.telemetry import MetricsSnapshot
+
+        merged = MetricsSnapshot.merge_all(r.metrics for r in results)
+        if len(merged):
+            print()
+            print(
+                format_percentiles(
+                    merged,
+                    ["message.latency.cycles", "message.attempts"],
+                    title="Metrics: distributions over the merged soaks",
+                )
+            )
+    if args.snapshot:
+        import json
+
+        from repro.telemetry import MetricsSnapshot
+
+        merged = MetricsSnapshot.merge_all(r.metrics for r in results)
+        document = {
+            "soaks": [r.as_dict() for r in results],
+            "metrics": merged.as_dict(),
+        }
+        with open(args.snapshot, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print("wrote soak snapshot to {}".format(args.snapshot))
+    status = 0
+    if any(r.oracle_violations for r in results):
+        for result in results:
+            if result.oracle_violations:
+                print(
+                    "FAIL: {} saw {} protocol violation(s) under the "
+                    "oracle".format(result.label, result.oracle_violations),
+                    file=sys.stderr,
+                )
+        status = 1
+    healed = [r for r in results if r.self_heal]
+    for result, reason in chaos_slo_failures(
+        healed,
+        min_availability=args.min_availability,
+        max_undeliverable=args.max_undeliverable,
+        max_mttr_cycles=args.max_mttr,
+    ):
+        print("FAIL: {} violated SLO: {}".format(result.label, reason),
+              file=sys.stderr)
+        status = 1
+    return status
 
 
 def _cmd_breakdown(args):
@@ -486,7 +602,75 @@ def build_parser():
         help="with --levels: exit nonzero if any level's delivered load "
         "falls more than FRACTION below the first (baseline) level",
     )
+    faults.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="per-message retry budget; exhausted messages surface as "
+        "'undeliverable' in the sweep results",
+    )
+    faults.add_argument(
+        "--max-undeliverable",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --levels: exit nonzero if any level abandons more "
+        "than N messages (retry-budget exhaustion)",
+    )
     faults.add_argument("--metrics", action="store_true", help=metrics_help)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos soak: transient faults with online self-healing",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=4,
+        help="independent soaks (parallelizes with --workers)",
+    )
+    chaos.add_argument("--windows", type=int, default=30)
+    chaos.add_argument("--window-cycles", type=int, default=400)
+    chaos.add_argument("--warmup-windows", type=int, default=5)
+    chaos.add_argument("--flaky-links", type=int, default=1)
+    chaos.add_argument("--dead-routers", type=int, default=1)
+    chaos.add_argument("--mtbf", type=int, default=1500,
+                       help="mean cycles between transient failures")
+    chaos.add_argument("--mttr", type=int, default=600,
+                       help="mean cycles a transient fault stays down")
+    chaos.add_argument("--rate", type=float, default=0.02)
+    chaos.add_argument(
+        "--compare",
+        action="store_true",
+        help="run each soak twice, self-healing ON and OFF, for the "
+        "paired availability comparison",
+    )
+    chaos.add_argument(
+        "--oracle",
+        action="store_true",
+        help="attach the protocol conformance oracle for the whole "
+        "soak; violations fail the command",
+    )
+    chaos.add_argument(
+        "--min-availability", type=float, default=None, metavar="FRACTION",
+        help="exit nonzero if a self-healing soak's availability "
+        "(fraction of post-fault windows meeting the delivered SLO) "
+        "falls below FRACTION",
+    )
+    chaos.add_argument(
+        "--max-undeliverable", type=int, default=None, metavar="N",
+        help="exit nonzero if a self-healing soak abandons more than "
+        "N messages",
+    )
+    chaos.add_argument(
+        "--max-mttr", type=float, default=None, metavar="CYCLES",
+        help="exit nonzero if a self-healing soak's mean degraded "
+        "episode exceeds CYCLES",
+    )
+    chaos.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="write soak summaries + merged telemetry metrics as JSON "
+        "(the chaos-smoke CI artifact)",
+    )
+    chaos.add_argument("--metrics", action="store_true", help=metrics_help)
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)
@@ -551,6 +735,7 @@ _COMMANDS = {
     "figure1": _cmd_figure1,
     "figure3": _cmd_figure3,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
     "breakdown": _cmd_breakdown,
     "saturation": _cmd_saturation,
     "send": _cmd_send,

@@ -578,6 +578,28 @@ class MetroRouter(Component):
         conn.reset()
         conn.state = DISCARD_STATE
 
+    def quiesce_backward_port(self, q):
+        """Evict whatever owns backward port ``q`` (repair preparation).
+
+        The online fault manager must not run an isolation test over a
+        wire while a live circuit holds it, so it evicts the owner
+        first: an active connection is torn down exactly like a
+        cascade containment (DROP downstream, BCB upstream); a
+        draining connection has its flush cut short with an immediate
+        DROP.  Returns True when a connection was evicted.
+        """
+        owner = self._bwd_owner[q]
+        if owner is None:
+            return False
+        if owner in self._draining:
+            self.backward_ends[q].send(W.DROP_WORD)
+            self._record("conn-drop", owner.fwd_port, q)
+            self._release_backward(owner)
+            self._draining.remove(owner)
+        else:
+            self.force_teardown(owner.fwd_port)
+        return True
+
     # -- helpers --------------------------------------------------------
 
     def _emit_status(self, conn, end):

@@ -13,6 +13,12 @@ from repro.endpoint.messages import (
     NACKED,
     TIMEOUT,
 )
+from repro.endpoint.retry import (
+    BudgetedRetries,
+    ExponentialBackoff,
+    RetryPolicy,
+    UniformBackoff,
+)
 
 __all__ = [
     "ABANDONED",
@@ -20,12 +26,16 @@ __all__ = [
     "ACK_OK",
     "BLOCKED",
     "BLOCKED_FAST",
+    "BudgetedRetries",
     "CORRUPTED",
     "DELIVERED",
     "DIED",
     "Endpoint",
+    "ExponentialBackoff",
     "Message",
     "MessageLog",
     "NACKED",
+    "RetryPolicy",
     "TIMEOUT",
+    "UniformBackoff",
 ]

@@ -28,6 +28,7 @@ import random
 
 from repro.core import words as W
 from repro.endpoint import messages as M
+from repro.endpoint.retry import UniformBackoff
 from repro.sim.component import Component
 from repro.telemetry.nullobj import NULL_TELEMETRY
 
@@ -108,7 +109,12 @@ class Endpoint(Component):
         declaring the connection dead and retrying.
     :param max_attempts: per-message retry budget (None = unlimited).
     :param backoff: (lo, hi) inclusive range of idle cycles inserted
-        before a retry, drawn uniformly.
+        before a retry, drawn uniformly (the default policy).
+    :param retry_policy: a :class:`~repro.endpoint.retry.RetryPolicy`
+        overriding ``backoff``; it is ``clone()``d per endpoint so a
+        stateful policy never shares counters across sources.  A
+        policy returning ``None`` abandons the message (counted as
+        undeliverable, same as exhausting ``max_attempts``).
     :param reply_handler: ``f(payload_words, checksum_ok) ->
         (reply_words, delay_cycles)`` run at the receiver; default
         replies with nothing extra and zero delay.
@@ -130,6 +136,7 @@ class Endpoint(Component):
         reply_timeout=300,
         max_attempts=None,
         backoff=(0, 3),
+        retry_policy=None,
         reply_handler=None,
         verify_stage_checksums=False,
         seed=0,
@@ -146,6 +153,13 @@ class Endpoint(Component):
         self.reply_timeout = reply_timeout
         self.max_attempts = max_attempts
         self.backoff = backoff
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else UniformBackoff(*backoff)
+        ).clone()
+        #: Optional ``f(cycle, endpoint, send, cause, blocked_stage)``
+        #: observer of every failed attempt; the online FaultManager
+        #: hangs its evidence collection here.
+        self.fault_listener = None
         self.reply_handler = reply_handler
         self.verify_stage_checksums = verify_stage_checksums
         self.trace = trace
@@ -371,15 +385,16 @@ class Endpoint(Component):
                 self._cycle, self, send.port, message, cause,
                 blocked_stage=blocked_stage,
             )
-        if (
-            self.max_attempts is not None
-            and message.attempts >= self.max_attempts
-        ):
+        if self.fault_listener is not None:
+            self.fault_listener(self._cycle, self, send, cause, blocked_stage)
+        delay = None
+        if self.max_attempts is None or message.attempts < self.max_attempts:
+            delay = self.retry_policy.delay(self._rng, message)
+        if delay is None:
             message.outcome = M.ABANDONED
             message.done_cycle = self._cycle
             self.log.record(message)
             return
-        delay = self._rng.randint(*self.backoff)
         self._queue.append((self._cycle + 1 + delay, message))
 
     # ------------------------------------------------------------------

@@ -1,25 +1,38 @@
-"""Fault models, scheduled injection, and scan-driven diagnosis."""
+"""Fault models, scheduled injection, scan-driven diagnosis, and
+online self-healing management."""
 
 from repro.faults.injector import (
+    AppliedFault,
     FaultInjector,
     random_fault_scenario,
+    random_transient_scenario,
     router_to_router_channels,
 )
+from repro.faults.manager import FaultManager
 from repro.faults.model import (
     CorruptLink,
     DeadLink,
     DeadRouter,
     DisabledPort,
     Fault,
+    FlakyLink,
+    FlakyRouter,
+    TransientFault,
 )
 
 __all__ = [
+    "AppliedFault",
     "CorruptLink",
     "DeadLink",
     "DeadRouter",
     "DisabledPort",
     "Fault",
     "FaultInjector",
+    "FaultManager",
+    "FlakyLink",
+    "FlakyRouter",
+    "TransientFault",
     "random_fault_scenario",
+    "random_transient_scenario",
     "router_to_router_channels",
 ]

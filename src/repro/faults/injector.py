@@ -1,8 +1,20 @@
 """Scheduled fault injection into a live network simulation."""
 
+import logging
 import random
+from collections import namedtuple
 
-from repro.faults.model import DeadLink, DeadRouter
+from repro.faults.model import DeadLink, DeadRouter, FlakyLink, FlakyRouter
+
+log = logging.getLogger("repro.faults")
+
+#: One entry of :attr:`FaultInjector.applied`.  Tuple-compatible with
+#: the historical ``(cycle, fault)`` pairs — ``entry[0]`` is the cycle
+#: the action actually took effect, ``entry[1]`` the fault — plus the
+#: originally requested cycle (``scheduled``; equals ``cycle`` unless
+#: the fault was registered late) and the ``action`` taken
+#: ("apply"/"revert").
+AppliedFault = namedtuple("AppliedFault", ["cycle", "fault", "scheduled", "action"])
 
 
 class FaultInjector:
@@ -17,13 +29,15 @@ class FaultInjector:
         injector = FaultInjector(network)
         injector.at(100, DeadRouter(1, 0, 2))
         injector.at(500, DeadLink(src_key, dst_key))
+        injector.transient(FlakyLink(src_key, dst_key, mtbf=600, mttr=150))
         network.run(...)
     """
 
     def __init__(self, network):
         self.network = network
         self._scheduled = []  # (cycle, fault, action)
-        self.applied = []     # (cycle, fault) history
+        self._transients = []
+        self.applied = []     # AppliedFault history
         network.engine.add_pre_cycle_hook(self._hook)
 
     def at(self, cycle, fault):
@@ -39,19 +53,42 @@ class FaultInjector:
     def now(self, fault):
         """Apply ``fault`` immediately (static, pre-run faults)."""
         fault.apply(self.network)
-        self.applied.append((self.network.engine.cycle, fault))
+        cycle = self.network.engine.cycle
+        self.applied.append(AppliedFault(cycle, fault, cycle, "apply"))
+        return fault
+
+    def transient(self, fault):
+        """Register a :class:`~repro.faults.model.TransientFault`.
+
+        The fault's duty cycle is polled every engine cycle; each
+        apply/revert transition it takes is recorded in
+        :attr:`applied`.
+        """
+        self._transients.append(fault)
         return fault
 
     def _hook(self, engine):
         due = [entry for entry in self._scheduled if entry[0] <= engine.cycle]
         for entry in due:
             self._scheduled.remove(entry)
-            _cycle, fault, action = entry
+            scheduled, fault, action = entry
+            if scheduled < engine.cycle:
+                log.warning(
+                    "fault %s scheduled for cycle %d applied late at cycle %d",
+                    fault.describe(),
+                    scheduled,
+                    engine.cycle,
+                )
             if action == "apply":
                 fault.apply(self.network)
-                self.applied.append((engine.cycle, fault))
             else:
                 fault.revert(self.network)
+            self.applied.append(
+                AppliedFault(engine.cycle, fault, scheduled, action)
+            )
+        for fault in self._transients:
+            for action, cycle in fault.poll(engine.cycle, self.network):
+                self.applied.append(AppliedFault(cycle, fault, cycle, action))
 
     def pending(self):
         return list(self._scheduled)
@@ -92,4 +129,69 @@ def random_fault_scenario(
     rng.shuffle(router_pool)
     for stage, block, index in router_pool[:n_dead_routers]:
         faults.append(DeadRouter(stage, block, index))
+    return faults
+
+
+def random_transient_scenario(
+    network,
+    n_flaky_links=0,
+    n_flaky_routers=0,
+    mtbf=600,
+    mttr=150,
+    seed=0,
+    burst=1,
+    burst_gap=None,
+    start=0,
+    exclude_final_stage=True,
+):
+    """A reproducible random set of transient (duty-cycled) faults.
+
+    Flaky links are drawn from inter-router wires; flaky routers from
+    the middle stages (optionally excluding the final stage, same
+    rationale as :func:`random_fault_scenario` — plus stage-0 routers,
+    whose source ports endpoints attach to directly, so masking can
+    never heal them).  Each fault gets its own RNG stream derived from
+    ``seed`` so the set is a pure function of its arguments.  Register
+    the returned faults with ``injector.transient(...)``.
+    """
+    rng = random.Random(seed)
+    faults = []
+    link_pool = router_to_router_channels(network)
+    rng.shuffle(link_pool)
+    for src_key, dst_key in link_pool[:n_flaky_links]:
+        faults.append(
+            FlakyLink(
+                src_key=src_key,
+                dst_key=dst_key,
+                mtbf=mtbf,
+                mttr=mttr,
+                seed=rng.getrandbits(32),
+                burst=burst,
+                burst_gap=burst_gap,
+                start=start,
+            )
+        )
+    router_pool = []
+    last = network.plan.n_stages - 1
+    for (stage, block, index) in network.router_grid:
+        if stage == 0:
+            continue
+        if exclude_final_stage and stage == last:
+            continue
+        router_pool.append((stage, block, index))
+    rng.shuffle(router_pool)
+    for stage, block, index in router_pool[:n_flaky_routers]:
+        faults.append(
+            FlakyRouter(
+                stage,
+                block,
+                index,
+                mtbf=mtbf,
+                mttr=mttr,
+                seed=rng.getrandbits(32),
+                burst=burst,
+                burst_gap=burst_gap,
+                start=start,
+            )
+        )
     return faults

@@ -8,11 +8,20 @@ The METRO fault story (paper, Sections 1, 4, 5.1) distinguishes:
 * **dynamic faults** — appearing while the network runs; the source
   detects the damaged connection (missing/blocked status, bad
   checksum, silence) and retries, and random output selection steers
-  the retry around the fault.
+  the retry around the fault;
+* **transient faults** — dynamic faults that come and go: a marginal
+  wire or an overheating part alternates between healthy and failed.
+  :class:`TransientFault` models the duty cycle with seeded
+  exponential up/down times (MTBF/MTTR) and optional failure bursts.
 
 Each descriptor here knows how to ``apply`` itself to a live
 :class:`~repro.network.builder.MetroNetwork` (and, where meaningful,
 ``revert``).  Scheduling is the injector's job.
+
+Every fault is picklable *by construction*: descriptors store only
+plain data (keys, seeds, parameters) and derive any RNG or resolved
+channel lazily, so fault scenarios can ride a
+:class:`~repro.harness.parallel.TrialSpec` into worker processes.
 """
 
 import random
@@ -21,7 +30,9 @@ from repro.core import words as W
 
 LINK_DEAD = "link-dead"
 LINK_CORRUPT = "link-corrupt"
+LINK_FLAKY = "link-flaky"
 ROUTER_DEAD = "router-dead"
+ROUTER_FLAKY = "router-flaky"
 PORT_DISABLED = "port-disabled"
 
 
@@ -40,14 +51,14 @@ class Fault:
         return self.kind
 
 
-class DeadLink(Fault):
-    """A wire that stops conducting in both directions.
+class _LinkFault(Fault):
+    """Shared plumbing for faults that target one wire.
 
-    :param src_key: producing port key (``NodeRef.key()``), or pass a
-        ``channel`` directly.
+    Stores the wire's ``(src_key, dst_key)`` and resolves the live
+    channel lazily against the network it is applied to.  The resolved
+    channel is a cache only: pickling drops it (when keys are present)
+    so a used fault never drags a live network into worker processes.
     """
-
-    kind = LINK_DEAD
 
     def __init__(self, src_key=None, dst_key=None, channel=None):
         if channel is None and (src_key is None or dst_key is None):
@@ -61,6 +72,29 @@ class DeadLink(Fault):
             self.channel = network.channels[(self.src_key, self.dst_key)]
         return self.channel
 
+    def _channel_name(self):
+        if self.channel is not None:
+            return self.channel.name
+        if self.src_key is not None:
+            return "{}->{}".format(self.src_key, self.dst_key)
+        return "?"
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        if state.get("src_key") is not None:
+            state["channel"] = None
+        return state
+
+
+class DeadLink(_LinkFault):
+    """A wire that stops conducting in both directions.
+
+    :param src_key: producing port key (``NodeRef.key()``), or pass a
+        ``channel`` directly.
+    """
+
+    kind = LINK_DEAD
+
     def apply(self, network):
         self._resolve(network).dead = True
 
@@ -68,11 +102,10 @@ class DeadLink(Fault):
         self._resolve(network).dead = False
 
     def describe(self):
-        channel_name = self.channel.name if self.channel is not None else "?"
-        return "{}({})".format(self.kind, channel_name)
+        return "{}({})".format(self.kind, self._channel_name())
 
 
-class CorruptLink(Fault):
+class CorruptLink(_LinkFault):
     """A noisy wire: data words are bit-flipped with some probability.
 
     Control tokens are carried out-of-band in this simulation, so
@@ -84,6 +117,8 @@ class CorruptLink(Fault):
     :param mask: XOR pattern applied to a damaged word (default flips
         the low bit).
     :param direction: ``"a_to_b"``, ``"b_to_a"`` or ``"both"``.
+    :param seed: noise randomness; the RNG is derived lazily from the
+        stored seed so the descriptor stays picklable.
     """
 
     kind = LINK_CORRUPT
@@ -98,15 +133,18 @@ class CorruptLink(Fault):
         direction="a_to_b",
         seed=0,
     ):
-        if channel is None and (src_key is None or dst_key is None):
-            raise ValueError("need channel or (src_key, dst_key)")
-        self.src_key = src_key
-        self.dst_key = dst_key
-        self.channel = channel
+        super().__init__(src_key=src_key, dst_key=dst_key, channel=channel)
         self.probability = probability
         self.mask = mask
         self.direction = direction
-        self._rng = random.Random(seed)
+        self.seed = seed
+        self._rng_obj = None
+
+    @property
+    def _rng(self):
+        if self._rng_obj is None:
+            self._rng_obj = random.Random(self.seed)
+        return self._rng_obj
 
     def _corrupt(self, word):
         if word.kind != W.DATA:
@@ -114,11 +152,6 @@ class CorruptLink(Fault):
         if self._rng.random() >= self.probability:
             return word
         return W.data(word.value ^ self.mask)
-
-    def _resolve(self, network):
-        if self.channel is None:
-            self.channel = network.channels[(self.src_key, self.dst_key)]
-        return self.channel
 
     def apply(self, network):
         channel = self._resolve(network)
@@ -135,8 +168,14 @@ class CorruptLink(Fault):
             channel.fault_b_to_a = None
 
     def describe(self):
-        channel_name = self.channel.name if self.channel is not None else "?"
-        return "{}({}, p={})".format(self.kind, channel_name, self.probability)
+        return "{}({}, p={})".format(
+            self.kind, self._channel_name(), self.probability
+        )
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["_rng_obj"] = None
+        return state
 
 
 class DeadRouter(Fault):
@@ -190,4 +229,182 @@ class DisabledPort(Fault):
     def describe(self):
         return "{}(r{}.{}.{} port {})".format(
             self.kind, self.stage, self.block, self.index, self.port_id
+        )
+
+
+class TransientFault(Fault):
+    """A duty-cycled fault: alternates between healthy and failed.
+
+    Subclasses define what apply/revert do; this base owns *when*: up
+    (healthy) periods average ``mtbf`` cycles and down (failed)
+    periods average ``mttr`` cycles, both drawn exponentially from the
+    stored seed so the whole schedule is a pure function of the seed.
+
+    ``burst > 1`` models correlated failures: after each recovery, the
+    next ``burst - 1`` failures arrive after short gaps (mean
+    ``burst_gap``) before the schedule returns to the MTBF cadence —
+    the "fault burst" pattern of a part going marginal.
+
+    The schedule is driven by :meth:`poll`, which the
+    :class:`~repro.faults.injector.FaultInjector` calls from its
+    pre-cycle hook once the fault is registered via
+    ``injector.transient(fault)``.  ``start`` delays the first failure
+    draw until that cycle (a healthy lead-in).
+    """
+
+    kind = "transient"
+
+    def __init__(self, mtbf, mttr, seed=0, burst=1, burst_gap=None, start=0):
+        if mtbf < 1 or mttr < 1:
+            raise ValueError("mtbf and mttr must be >= 1 cycle")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.seed = seed
+        self.burst = burst
+        self.burst_gap = burst_gap if burst_gap is not None else max(1, mtbf // 8)
+        self.start = start
+        self.down = False
+        self._rng_obj = None
+        self._next_change = None
+        self._burst_left = 0
+
+    @property
+    def _rng(self):
+        if self._rng_obj is None:
+            self._rng_obj = random.Random(self.seed)
+        return self._rng_obj
+
+    def _draw(self, mean):
+        return max(1, int(round(self._rng.expovariate(1.0 / mean))))
+
+    def poll(self, cycle, network):
+        """Advance the duty cycle to ``cycle``; apply/revert as due.
+
+        Returns the transitions taken this call as ``(action, cycle)``
+        pairs (``"apply"`` going down, ``"revert"`` coming back up) so
+        the injector can record them in its history.
+        """
+        if cycle < self.start:
+            return []
+        if self._next_change is None:
+            self._burst_left = self.burst - 1
+            self._next_change = cycle + self._draw(self.mtbf)
+        events = []
+        while cycle >= self._next_change:
+            if self.down:
+                self.revert(network)
+                self.down = False
+                events.append(("revert", cycle))
+                if self._burst_left > 0:
+                    self._burst_left -= 1
+                    gap = self._draw(self.burst_gap)
+                else:
+                    self._burst_left = self.burst - 1
+                    gap = self._draw(self.mtbf)
+                self._next_change = cycle + gap
+            else:
+                self.apply(network)
+                self.down = True
+                events.append(("apply", cycle))
+                self._next_change = cycle + self._draw(self.mttr)
+        return events
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_rng_obj"] = None
+        return state
+
+
+class FlakyLink(TransientFault):
+    """A wire that intermittently goes dead (marginal connector)."""
+
+    kind = LINK_FLAKY
+
+    def __init__(
+        self,
+        src_key=None,
+        dst_key=None,
+        channel=None,
+        mtbf=600,
+        mttr=150,
+        seed=0,
+        burst=1,
+        burst_gap=None,
+        start=0,
+    ):
+        super().__init__(
+            mtbf, mttr, seed=seed, burst=burst, burst_gap=burst_gap, start=start
+        )
+        if channel is None and (src_key is None or dst_key is None):
+            raise ValueError("need channel or (src_key, dst_key)")
+        self.src_key = src_key
+        self.dst_key = dst_key
+        self.channel = channel
+
+    def _resolve(self, network):
+        if self.channel is None:
+            self.channel = network.channels[(self.src_key, self.dst_key)]
+        return self.channel
+
+    def apply(self, network):
+        self._resolve(network).dead = True
+
+    def revert(self, network):
+        self._resolve(network).dead = False
+
+    def describe(self):
+        name = (
+            self.channel.name
+            if self.channel is not None
+            else "{}->{}".format(self.src_key, self.dst_key)
+        )
+        return "{}({}, mtbf={}, mttr={})".format(
+            self.kind, name, self.mtbf, self.mttr
+        )
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        if state.get("src_key") is not None:
+            state["channel"] = None
+        return state
+
+
+class FlakyRouter(TransientFault):
+    """A router that intermittently goes silent (thermal/marginal part)."""
+
+    kind = ROUTER_FLAKY
+
+    def __init__(
+        self,
+        stage,
+        block,
+        index,
+        mtbf=600,
+        mttr=150,
+        seed=0,
+        burst=1,
+        burst_gap=None,
+        start=0,
+    ):
+        super().__init__(
+            mtbf, mttr, seed=seed, burst=burst, burst_gap=burst_gap, start=start
+        )
+        self.stage = stage
+        self.block = block
+        self.index = index
+
+    def _router(self, network):
+        return network.router_grid[(self.stage, self.block, self.index)]
+
+    def apply(self, network):
+        self._router(network).dead = True
+
+    def revert(self, network):
+        self._router(network).dead = False
+
+    def describe(self):
+        return "{}(r{}.{}.{}, mtbf={}, mttr={})".format(
+            self.kind, self.stage, self.block, self.index, self.mtbf, self.mttr
         )

@@ -1,0 +1,414 @@
+"""Chaos soak harness: long faulty runs with self-healing on or off.
+
+The paper claims the architecture "operates with any set of faults
+short of those which disconnect endpoints" (Section 1); the fault
+sweep measures *static* fault levels, and this harness measures the
+*dynamic* story: transient faults (flaky wires, dying routers) strike
+mid-run while the online :class:`~repro.faults.manager.FaultManager`
+detects, localizes and masks them.  A soak reports service-level
+numbers — availability (fraction of windows meeting the delivered-rate
+SLO), MTTR (how long degraded episodes last), undeliverable count —
+and the natural experiment is the same seed with self-healing ON
+versus OFF.
+
+Soaks are deterministic: every random choice derives from the trial
+seed, so a soak is a pure function of its parameters and serial ==
+parallel execution byte-identically (the
+:class:`~repro.harness.parallel.TrialRunner` contract).
+"""
+
+import random
+
+from repro.core.random_source import derive_seed
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.faults.injector import FaultInjector, random_transient_scenario
+from repro.faults.manager import FaultManager
+from repro.faults.model import DeadRouter
+from repro.harness.load_sweep import figure1_network
+from repro.harness.parallel import TrialRunner, TrialSpec
+
+
+class ChaosResult:
+    """Outcome of one chaos soak: windowed rates plus fault history.
+
+    Carries only plain data (ints, strings, dicts of such), so results
+    pickle byte-identically regardless of which process produced them.
+    """
+
+    #: MetricsSnapshot when the soak ran with telemetry, else None
+    #: (class attribute so old pickles still answer ``.metrics``).
+    metrics = None
+
+    def __init__(
+        self,
+        label,
+        seed,
+        self_heal,
+        window_cycles,
+        warmup_windows,
+        fault_start,
+        slo_fraction,
+        windows,
+        undeliverable,
+        attempt_failures,
+        fault_events,
+        mask_events,
+        repairs,
+        evidence_count,
+        oracle_violations,
+    ):
+        self.label = label
+        self.seed = seed
+        self.self_heal = self_heal
+        self.window_cycles = window_cycles
+        self.warmup_windows = warmup_windows
+        self.fault_start = fault_start
+        self.slo_fraction = slo_fraction
+        #: Delivered (acked) message count per completed window.
+        self.windows = list(windows)
+        self.undeliverable = undeliverable
+        self.attempt_failures = dict(attempt_failures)
+        #: ``(cycle, description, action)`` for every fault transition.
+        self.fault_events = list(fault_events)
+        #: Mask decisions the manager took (dicts; empty when off).
+        self.mask_events = list(mask_events)
+        self.repairs = list(repairs)
+        self.evidence_count = evidence_count
+        self.oracle_violations = oracle_violations
+
+    # -- service-level numbers -------------------------------------------
+
+    @property
+    def baseline_rate(self):
+        """Mean fault-free delivered rate (the warmup windows)."""
+        head = self.windows[: self.warmup_windows]
+        if not head:
+            return 0.0
+        return sum(head) / len(head)
+
+    def _post_fault(self):
+        return self.windows[self.fault_start // self.window_cycles:]
+
+    def _slo_floor(self):
+        return self.slo_fraction * self.baseline_rate
+
+    @property
+    def availability(self):
+        """Fraction of post-fault windows meeting the delivered SLO."""
+        post = self._post_fault()
+        if not post:
+            return 1.0
+        floor = self._slo_floor()
+        return sum(1 for count in post if count >= floor) / len(post)
+
+    @property
+    def degraded_windows(self):
+        floor = self._slo_floor()
+        return sum(1 for count in self._post_fault() if count < floor)
+
+    @property
+    def mttr_cycles(self):
+        """Mean length of a degraded episode, in cycles.
+
+        An episode is a maximal run of consecutive below-SLO windows;
+        0.0 when the soak never went degraded.
+        """
+        floor = self._slo_floor()
+        episodes = []
+        run = 0
+        for count in self._post_fault():
+            if count < floor:
+                run += 1
+            elif run:
+                episodes.append(run)
+                run = 0
+        if run:
+            episodes.append(run)
+        if not episodes:
+            return 0.0
+        return self.window_cycles * sum(episodes) / len(episodes)
+
+    @property
+    def recovered_rate(self):
+        """Mean delivered rate over the soak's last three windows."""
+        tail = self.windows[-3:]
+        if not tail:
+            return 0.0
+        return sum(tail) / len(tail)
+
+    def as_dict(self):
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "self_heal": self.self_heal,
+            "windows": list(self.windows),
+            "baseline_rate": self.baseline_rate,
+            "recovered_rate": self.recovered_rate,
+            "availability": self.availability,
+            "degraded_windows": self.degraded_windows,
+            "mttr_cycles": self.mttr_cycles,
+            "undeliverable": self.undeliverable,
+            "masked_wires": len(self.mask_events),
+            "fault_events": [list(e) for e in self.fault_events],
+            "oracle_violations": self.oracle_violations,
+        }
+
+    def __repr__(self):
+        return (
+            "<ChaosResult {} heal={} avail={:.2f} mttr={:.0f} "
+            "masked={}>".format(
+                self.label,
+                "on" if self.self_heal else "off",
+                self.availability,
+                self.mttr_cycles,
+                len(self.mask_events),
+            )
+        )
+
+
+def run_chaos_point(
+    seed=0,
+    self_heal=True,
+    n_windows=30,
+    window_cycles=400,
+    warmup_windows=5,
+    fault_start=None,
+    n_flaky_links=1,
+    n_flaky_routers=0,
+    n_dead_routers=1,
+    mtbf=1500,
+    mttr=600,
+    burst=1,
+    rate=0.02,
+    message_words=12,
+    max_attempts=60,
+    slo_fraction=0.75,
+    network_factory=figure1_network,
+    manager_kwargs=None,
+    metrics=False,
+    oracle=False,
+):
+    """One chaos soak: seeded transient + hard faults, optional healing.
+
+    The soak warms up fault-free for ``warmup_windows`` windows, then
+    (at ``fault_start``, default the end of warmup) ``n_dead_routers``
+    middle-stage routers die for good while ``n_flaky_links`` wires and
+    ``n_flaky_routers`` routers begin transient duty cycles (seeded
+    MTBF/MTTR).  With ``self_heal`` a
+    :class:`~repro.faults.manager.FaultManager` watches the failure
+    evidence and masks localized faults online; without it the
+    endpoints' retry discipline is the only defence.  ``oracle=True``
+    attaches the protocol conformance oracle for the whole soak
+    (violations are counted on the result, not raised).
+
+    Endpoints verify stage checksums (the manager's best evidence) and
+    run a finite ``max_attempts`` so unreachable destinations surface
+    as ``undeliverable`` instead of infinite retry.
+    """
+    if fault_start is None:
+        fault_start = warmup_windows * window_cycles
+    endpoint_kwargs = {
+        "verify_stage_checksums": True,
+        "max_attempts": max_attempts,
+    }
+    telemetry = None
+    if metrics:
+        from repro.telemetry import TelemetryHub
+
+        telemetry = TelemetryHub(spans=False)
+        network = network_factory(
+            seed=seed, telemetry=telemetry, endpoint_kwargs=endpoint_kwargs
+        )
+    else:
+        network = network_factory(seed=seed, endpoint_kwargs=endpoint_kwargs)
+
+    watcher = None
+    if oracle:
+        from repro.verify.oracle import attach_oracle
+
+        watcher = attach_oracle(network)
+
+    injector = FaultInjector(network)
+    rng = random.Random(derive_seed(seed, "chaos-faults"))
+    last = network.plan.n_stages - 1
+    middle = [
+        key for key in network.router_grid if 0 < key[0] < last
+    ]
+    rng.shuffle(middle)
+    for stage, block, index in middle[:n_dead_routers]:
+        injector.at(fault_start, DeadRouter(stage, block, index))
+    for fault in random_transient_scenario(
+        network,
+        n_flaky_links=n_flaky_links,
+        n_flaky_routers=n_flaky_routers,
+        mtbf=mtbf,
+        mttr=mttr,
+        seed=derive_seed(seed, "chaos-transients"),
+        burst=burst,
+        start=fault_start,
+    ):
+        injector.transient(fault)
+
+    manager = None
+    if self_heal:
+        kwargs = dict(rate_window=window_cycles)
+        if manager_kwargs:
+            kwargs.update(manager_kwargs)
+        manager = FaultManager(network, **kwargs)
+
+    UniformRandomTraffic(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=rate,
+        message_words=message_words,
+        seed=seed + 1,
+    ).attach(network)
+
+    target = n_windows * window_cycles
+    while network.engine.cycle < target:
+        network.run(target - network.engine.cycle)
+        if manager is not None and manager.repairs_due():
+            manager.service()
+
+    from repro.endpoint import messages as M
+
+    counts = {}
+    for message in network.log.messages:
+        if message.outcome == M.DELIVERED:
+            window = message.done_cycle // window_cycles
+            counts[window] = counts.get(window, 0) + 1
+    n_complete = network.engine.cycle // window_cycles
+    windows = [counts.get(i, 0) for i in range(n_complete)]
+
+    result = ChaosResult(
+        label="seed={} heal={}".format(seed, "on" if self_heal else "off"),
+        seed=seed,
+        self_heal=self_heal,
+        window_cycles=window_cycles,
+        warmup_windows=warmup_windows,
+        fault_start=fault_start,
+        slo_fraction=slo_fraction,
+        windows=windows,
+        undeliverable=len(network.log.abandoned()),
+        attempt_failures=network.log.attempt_failures,
+        fault_events=[
+            (entry.cycle, entry.fault.describe(), entry.action)
+            for entry in injector.applied
+        ],
+        mask_events=manager.mask_events if manager is not None else [],
+        repairs=(
+            [dict(r) for r in manager.repairs] if manager is not None else []
+        ),
+        evidence_count=manager.evidence_count if manager is not None else 0,
+        oracle_violations=(
+            len(watcher.violations) if watcher is not None else 0
+        ),
+    )
+    if telemetry is not None:
+        registry = telemetry.registry
+        registry.gauge("chaos.availability").set(result.availability)
+        registry.gauge("chaos.mttr_cycles").set(result.mttr_cycles)
+        registry.gauge("chaos.degraded_windows").set(result.degraded_windows)
+        registry.gauge("chaos.masked_wires").set(len(result.mask_events))
+        result.metrics = telemetry.snapshot()
+    return result
+
+
+def chaos_trial_specs(
+    seeds=4,
+    seed=0,
+    self_heal=(True,),
+    **kwargs
+):
+    """One :class:`TrialSpec` per (soak index, healing mode).
+
+    The seed path is ``("chaos", index, heal)`` so a soak's randomness
+    is unchanged when more soaks or the other healing mode are added.
+    ``self_heal=(True, False)`` produces the paired ON/OFF experiment.
+    """
+    specs = []
+    for index in range(seeds):
+        for heal in self_heal:
+            specs.append(
+                TrialSpec(
+                    runner="repro.harness.chaos:run_chaos_point",
+                    params=dict(self_heal=heal, **kwargs),
+                    seed=derive_seed(seed, "chaos", index, heal),
+                    label="chaos[{}] heal={}".format(
+                        index, "on" if heal else "off"
+                    ),
+                )
+            )
+    return specs
+
+
+def chaos_sweep(
+    seeds=4,
+    seed=0,
+    self_heal=(True,),
+    workers=1,
+    cache_dir=None,
+    progress=None,
+    runner=None,
+    **kwargs
+):
+    """Run a batch of chaos soaks (parallelizable, cacheable)."""
+    specs = chaos_trial_specs(
+        seeds=seeds, seed=seed, self_heal=self_heal, **kwargs
+    )
+    if runner is None:
+        runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)
+    return runner.run(specs)
+
+
+def chaos_slo_failures(
+    results,
+    min_availability=None,
+    max_undeliverable=None,
+    max_mttr_cycles=None,
+):
+    """Soaks violating the service-level bounds.
+
+    Returns ``(result, reason)`` pairs; empty when every soak is
+    within bounds.  The CLI turns a non-empty return into a nonzero
+    exit status (the chaos-smoke CI gate).
+    """
+    failures = []
+    for result in results:
+        if (
+            min_availability is not None
+            and result.availability < min_availability
+        ):
+            failures.append(
+                (
+                    result,
+                    "availability {:.3f} < {:.3f}".format(
+                        result.availability, min_availability
+                    ),
+                )
+            )
+        if (
+            max_undeliverable is not None
+            and result.undeliverable > max_undeliverable
+        ):
+            failures.append(
+                (
+                    result,
+                    "undeliverable {} > {}".format(
+                        result.undeliverable, max_undeliverable
+                    ),
+                )
+            )
+        if (
+            max_mttr_cycles is not None
+            and result.mttr_cycles > max_mttr_cycles
+        ):
+            failures.append(
+                (
+                    result,
+                    "MTTR {:.0f} cycles > {:.0f}".format(
+                        result.mttr_cycles, max_mttr_cycles
+                    ),
+                )
+            )
+    return failures

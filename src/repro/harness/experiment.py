@@ -118,11 +118,24 @@ class ExperimentResult:
             return float("nan")
         return failures / self.delivered_count
 
+    @property
+    def undeliverable(self):
+        """Messages whose retry budget ran out inside the window.
+
+        These are *structural* losses (the source gave up), distinct
+        from the latency inflation retries normally absorb — a fault
+        sweep bounding degradation should bound these too rather than
+        letting abandoned messages quietly vanish from the delivered
+        tally.
+        """
+        return self.abandoned_count
+
     def as_dict(self):
         return {
             "label": self.label,
             "delivered": self.delivered_count,
             "abandoned": self.abandoned_count,
+            "undeliverable": self.undeliverable,
             "mean_latency": self.mean_latency,
             "median_latency": self.median_latency,
             "p95_latency": self.latency_percentile(95),

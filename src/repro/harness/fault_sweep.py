@@ -26,20 +26,34 @@ def run_fault_point(
     measure_cycles=6000,
     network_factory=figure3_network,
     metrics=False,
+    max_attempts=None,
+    retry_policy=None,
 ):
     """One (fault level, load) measurement.
 
     ``metrics=True`` attaches a metrics-only telemetry snapshot to the
     result (see :func:`~repro.harness.load_sweep.run_load_point`).
+    ``max_attempts``/``retry_policy`` configure the endpoints' retry
+    discipline; with a finite budget, messages that exhaust it are
+    counted in ``result.undeliverable`` (note: a ``retry_policy``
+    object in the params makes the trial spec uncacheable — prefer
+    plain ``max_attempts`` for swept trials).
     """
+    endpoint_kwargs = {}
+    if max_attempts is not None:
+        endpoint_kwargs["max_attempts"] = max_attempts
+    if retry_policy is not None:
+        endpoint_kwargs["retry_policy"] = retry_policy
     telemetry = None
     if metrics:
         from repro.telemetry import TelemetryHub
 
         telemetry = TelemetryHub(spans=False)
-        network = network_factory(seed=seed, telemetry=telemetry)
+        network = network_factory(
+            seed=seed, telemetry=telemetry, endpoint_kwargs=endpoint_kwargs
+        )
     else:
-        network = network_factory(seed=seed)
+        network = network_factory(seed=seed, endpoint_kwargs=endpoint_kwargs)
     injector = FaultInjector(network)
     faults = random_fault_scenario(
         network,
@@ -115,23 +129,38 @@ def fault_degradation_sweep(
     return runner.run(specs)
 
 
-def degradation_failures(results, max_degradation):
-    """Sweep levels whose delivered load degraded beyond the bound.
+def degradation_failures(results, max_degradation=None, max_undeliverable=None):
+    """Sweep levels that degraded beyond the bounds.
 
-    The first result is the baseline (normally the fault-free level);
-    every later level must deliver at least
-    ``(1 - max_degradation) * baseline`` words per endpoint-cycle.
-    Returns the offending ``(result, floor)`` pairs, empty when the
-    whole sweep is within bound.  This is the paper's "degrades
-    robustly" claim made checkable: the CLI turns a non-empty return
-    into a nonzero exit status.
+    With ``max_degradation``, the first result is the baseline
+    (normally the fault-free level); every later level must deliver at
+    least ``(1 - max_degradation) * baseline`` words per
+    endpoint-cycle.  With ``max_undeliverable``, every level
+    (baseline included) may abandon at most that many messages —
+    retry-budget exhaustion surfaced as a checkable bound instead of
+    messages quietly vanishing from the delivered tally.
+
+    Returns the offending ``(result, floor)`` pairs (``floor`` is the
+    delivered-load floor for degradation violations, None for
+    undeliverable violations), empty when the whole sweep is within
+    bounds.  This is the paper's "degrades robustly" claim made
+    checkable: the CLI turns a non-empty return into a nonzero exit
+    status.
     """
-    if not 0.0 <= max_degradation <= 1.0:
-        raise ValueError(
-            "max_degradation must be in [0, 1], got {}".format(max_degradation)
+    failures = []
+    if max_degradation is not None:
+        if not 0.0 <= max_degradation <= 1.0:
+            raise ValueError(
+                "max_degradation must be in [0, 1], got {}".format(max_degradation)
+            )
+        if len(results) >= 2:
+            baseline = results[0].delivered_load
+            floor = baseline * (1.0 - max_degradation)
+            failures.extend(
+                (r, floor) for r in results[1:] if r.delivered_load < floor
+            )
+    if max_undeliverable is not None:
+        failures.extend(
+            (r, None) for r in results if r.undeliverable > max_undeliverable
         )
-    if len(results) < 2:
-        return []
-    baseline = results[0].delivered_load
-    floor = baseline * (1.0 - max_degradation)
-    return [(r, floor) for r in results[1:] if r.delivered_load < floor]
+    return failures

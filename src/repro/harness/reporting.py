@@ -127,6 +127,28 @@ def ascii_chart(points, width=50, height=12, title=None, x_label="x", y_label="y
     return "\n".join(lines)
 
 
+def sparkline(values, lo=None, hi=None):
+    """A one-line block-character chart of a numeric series.
+
+    Ideal for chaos-soak windows: ``▇▇▇▂▁▂▃▅▇▇`` shows the fault dip
+    and the recovery rebound in a single table cell.  ``lo``/``hi``
+    pin the scale (e.g. 0..baseline) so several soaks compare
+    directly; they default to the series' own extremes.
+    """
+    ramp = "▁▂▃▄▅▆▇█"
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    low = min(series) if lo is None else float(lo)
+    high = max(series) if hi is None else float(hi)
+    span = (high - low) or 1.0
+    chars = []
+    for value in series:
+        index = int((value - low) / span * (len(ramp) - 1))
+        chars.append(ramp[max(0, min(index, len(ramp) - 1))])
+    return "".join(chars)
+
+
 def format_histogram(histogram, title=None, width=40):
     """ASCII bar chart of one log2-bucketed telemetry histogram.
 

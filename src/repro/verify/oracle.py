@@ -30,6 +30,10 @@ paper's reliability story rests on:
 * **Cascade IN-USE agreement** — :func:`attach_cascade_oracle` hooks
   the width-cascading consistency check so wired-AND disagreements
   between slices become oracle violations too (Section 5.1).
+* **Masked ports carry no data** — once a port is disabled (a scan
+  repair masking a faulty region), no DATA word may be staged onto it;
+  only the scan subsystem's Off Port Drive test mode is exempt
+  (Section 5.1, Scan Support).
 
 Violations are collected (never raised mid-simulation) so a test can
 run to quiescence and then report every offense at once with its
@@ -55,6 +59,7 @@ RULE_TURN_STALL = "turn-stall"
 RULE_HALF_DUPLEX = "half-duplex"
 RULE_CASCADE_INUSE = "cascade-inuse-mismatch"
 RULE_LEAK = "quiescence-leak"
+RULE_MASKED_PORT = "data-on-masked-port"
 
 
 class Violation:
@@ -220,12 +225,25 @@ class Oracle(Component):
                     "owner (fwd port {}) no longer claims this port "
                     "(claims {})".format(owner.fwd_port, owner.bwd_port),
                 )
-            if owner is None:
-                end = router.backward_ends[q]
-                enabled = config.port_enabled[config.backward_port_id(q)]
-                if end is not None and enabled:
-                    staged = end._tx.staged
-                    if staged is not None and staged.kind == W.DATA:
+            end = router.backward_ends[q]
+            if end is not None:
+                port_id = config.backward_port_id(q)
+                staged = end._tx.staged
+                if staged is not None and staged.kind == W.DATA:
+                    if not config.port_enabled[port_id]:
+                        # A masked port must carry no traffic; only the
+                        # scan subsystem's Off Port Drive option (Table
+                        # 2) may deliberately push test words out of it.
+                        if not config.off_port_drive[port_id]:
+                            self._violate(
+                                cycle,
+                                router.name,
+                                q,
+                                RULE_MASKED_PORT,
+                                "DATA staged on masked (disabled) port: "
+                                "{!r}".format(staged),
+                            )
+                    elif owner is None:
                         self._violate(
                             cycle,
                             router.name,

@@ -184,6 +184,95 @@ class TestScheduling:
         assert not network.router_grid[(1, 1, 0)].dead
 
 
+class TestAppliedHistory:
+    def test_applied_records_cycle_schedule_and_action(self):
+        network = _network(seed=18)
+        injector = FaultInjector(network)
+        fault = DeadRouter(1, 0, 1)
+        injector.at(5, fault)
+        injector.revert_at(12, fault)
+        network.run(20)
+        actions = [
+            (entry.fault, entry.scheduled, entry.action)
+            for entry in injector.applied
+        ]
+        assert actions == [(fault, 5, "apply"), (fault, 12, "revert")]
+        assert all(e.cycle >= e.scheduled for e in injector.applied)
+
+    def test_late_application_warns(self, caplog):
+        """Scheduling a fault for a cycle the engine already passed
+        still applies it, but loudly — a silent late fault makes a
+        scenario look deterministic when it is not."""
+        import logging
+
+        network = _network(seed=19)
+        network.run(50)
+        injector = FaultInjector(network)
+        fault = injector.at(10, DeadRouter(1, 0, 0))
+        with caplog.at_level(logging.WARNING, logger="repro.faults"):
+            network.run(1)
+        assert network.router_grid[(1, 0, 0)].dead
+        assert any(
+            "applied late" in record.message for record in caplog.records
+        )
+        entry = injector.applied[0]
+        assert entry.scheduled == 10
+        assert entry.cycle > entry.scheduled
+
+    def test_on_time_application_does_not_warn(self, caplog):
+        import logging
+
+        network = _network(seed=20)
+        injector = FaultInjector(network)
+        injector.at(10, DeadRouter(1, 0, 0))
+        with caplog.at_level(logging.WARNING, logger="repro.faults"):
+            network.run(20)
+        assert not any(
+            "applied late" in record.message for record in caplog.records
+        )
+
+
+class TestPicklable:
+    def test_static_faults_round_trip(self):
+        import pickle
+
+        network = _network(seed=21)
+        src_key, dst_key = router_to_router_channels(network)[0]
+        faults = [
+            DeadLink(src_key=src_key, dst_key=dst_key),
+            CorruptLink(src_key=src_key, dst_key=dst_key, probability=0.5, seed=3),
+            DeadRouter(1, 0, 2),
+            DisabledPort(0, 0, 0, 4),
+        ]
+        # Apply first so lazy state (channel handles, RNGs) is resolved,
+        # then verify pickling sheds it.
+        injector = FaultInjector(network)
+        for fault in faults:
+            injector.now(fault)
+        for fault in faults:
+            clone = pickle.loads(pickle.dumps(fault))
+            assert clone.kind == fault.kind
+            # Link faults shed the live channel handle; the keys survive.
+            assert getattr(clone, "channel", None) is None
+            if hasattr(fault, "src_key"):
+                assert (clone.src_key, clone.dst_key) == (
+                    fault.src_key,
+                    fault.dst_key,
+                )
+
+    def test_corrupt_link_clone_reseeds(self):
+        import pickle
+
+        fault = CorruptLink(
+            src_key=("router", 0, 0, 0, 0),
+            dst_key=("router", 1, 0, 0, 0),
+            probability=0.5,
+            seed=9,
+        )
+        clone = pickle.loads(pickle.dumps(fault))
+        assert clone.seed == 9
+
+
 class TestDisabledPort:
     def test_disabled_port_masks_then_restores(self):
         network = _network(seed=13)

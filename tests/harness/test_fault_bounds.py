@@ -6,9 +6,10 @@ from repro.harness.fault_sweep import degradation_failures
 
 
 class _Level:
-    def __init__(self, label, delivered_load):
+    def __init__(self, label, delivered_load, undeliverable=0):
         self.label = label
         self.delivered_load = delivered_load
+        self.undeliverable = undeliverable
 
 
 def test_within_bound_is_empty():
@@ -41,3 +42,41 @@ def test_bound_is_validated():
         degradation_failures(results, 1.5)
     with pytest.raises(ValueError):
         degradation_failures(results, -0.1)
+
+
+def test_undeliverable_bound_flags_structural_loss():
+    results = [
+        _Level("0:0", 0.10, undeliverable=0),
+        _Level("8:0", 0.09, undeliverable=2),
+        _Level("16:8", 0.08, undeliverable=7),
+    ]
+    failures = degradation_failures(results, max_undeliverable=3)
+    # Undeliverable violations carry no degradation floor.
+    assert [(r.label, floor) for r, floor in failures] == [("16:8", None)]
+
+
+def test_undeliverable_bound_includes_the_baseline():
+    results = [
+        _Level("0:0", 0.10, undeliverable=5),
+        _Level("8:0", 0.09, undeliverable=0),
+    ]
+    failures = degradation_failures(results, max_undeliverable=4)
+    assert [r.label for r, _floor in failures] == ["0:0"]
+
+
+def test_combined_bounds_report_both_kinds():
+    results = [
+        _Level("0:0", 0.10, undeliverable=0),
+        _Level("16:8", 0.04, undeliverable=9),
+    ]
+    failures = degradation_failures(
+        results, max_degradation=0.25, max_undeliverable=3
+    )
+    labels = [(r.label, floor) for r, floor in failures]
+    assert ("16:8", pytest.approx(0.075)) in labels
+    assert ("16:8", None) in labels
+
+
+def test_undeliverable_only_needs_no_degradation_bound():
+    results = [_Level("a", 0.1, undeliverable=1)]
+    assert degradation_failures(results, max_undeliverable=2) == []

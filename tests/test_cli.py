@@ -240,6 +240,65 @@ def test_verify_replay_failing_scenario_exits_nonzero(tmp_path, capsys):
     assert "quiet=False" in capsys.readouterr().out
 
 
+_CHAOS_SMALL = [
+    "chaos", "--seeds", "1", "--windows", "6", "--window-cycles", "200",
+    "--warmup-windows", "2", "--mtbf", "400", "--mttr", "200",
+]
+
+
+def test_chaos_small_soak(capsys):
+    out = _run(capsys, _CHAOS_SMALL)
+    assert "Chaos soak" in out
+    assert "availability" in out
+    assert "masked_wires" in out
+
+
+def test_chaos_compare_runs_both_heal_modes(capsys):
+    out = _run(capsys, _CHAOS_SMALL + ["--compare"])
+    assert "heal=on" in out
+    assert "heal=off" in out
+
+
+def test_chaos_snapshot_writes_json(tmp_path, capsys):
+    path = tmp_path / "chaos.json"
+    out = _run(capsys, _CHAOS_SMALL + ["--snapshot", str(path)])
+    assert "wrote soak snapshot" in out
+    import json
+
+    with open(path) as handle:
+        document = json.load(handle)
+    assert "soaks" in document and "metrics" in document
+    assert document["soaks"][0]["availability"] is not None
+
+
+def test_chaos_slo_violation_exits_nonzero(capsys):
+    # An impossible availability bound must flip the exit code.
+    code = main(_CHAOS_SMALL + ["--min-availability", "1.1"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "violated SLO" in captured.err
+
+
+def test_faults_max_attempts_flag_parses():
+    args = build_parser().parse_args(
+        ["faults", "--max-attempts", "40", "--max-undeliverable", "0"]
+    )
+    assert args.max_attempts == 40
+    assert args.max_undeliverable == 0
+
+
+def test_faults_undeliverable_bound(capsys):
+    """With generous bounds the faulted sweep still passes; the flag is
+    exercised end-to-end (finite attempts surface abandoned sends)."""
+    code = main(
+        ["faults", "--levels", "0:0,2:0", "--warmup", "150",
+         "--measure", "400", "--max-attempts", "40",
+         "--max-undeliverable", "1000"]
+    )
+    assert code == 0
+    assert "Fault degradation sweep" in capsys.readouterr().out
+
+
 def test_verify_saves_artifacts_on_mismatch(tmp_path, capsys, monkeypatch):
     """A model/simulator disagreement exits 1 and leaves committed,
     shrunk scenario JSON behind for CI to upload."""

@@ -144,6 +144,60 @@ def test_cascade_oracle_flags_inuse_disagreement():
     assert flagged[0].router == router.name
 
 
+def test_masked_port_carrying_data_is_flagged():
+    """Disabling a port out from under a live circuit (a mask without
+    quiescing first) must trip the data-on-masked-port rule."""
+    from repro.verify.oracle import RULE_MASKED_PORT
+
+    network = build_network(figure1_plan(), seed=41)
+    oracle = attach_oracle(network)
+    network.send(2, Message(dest=13, payload=[7] * 200))
+    victim = None
+    for _ in range(200):
+        network.run(1)
+        for router in network.router_grid.values():
+            for q, end in enumerate(router.backward_ends):
+                if end is None:
+                    continue
+                if router._bwd_owner[q] is not None:
+                    victim = (router, q)
+                    break
+            if victim:
+                break
+        if victim:
+            break
+    assert victim is not None, "no circuit ever locked"
+    router, q = victim
+    router.config.port_enabled[router.config.backward_port_id(q)] = False
+    network.run(3)
+    rules = {v.rule for v in oracle.violations}
+    assert RULE_MASKED_PORT in rules
+
+
+def test_quiesced_mask_is_clean():
+    """The manager's quiesce-then-mask ordering leaves no data on the
+    wire, so the same rule stays silent."""
+    from repro.scan.netconfig import NetworkScanFabric
+
+    network = build_network(figure1_plan(), seed=42)
+    oracle = attach_oracle(network)
+    fabric = NetworkScanFabric(network)
+    src_key, dst_key = router_to_router_channels(network)[0]
+    upstream = network.router_grid[src_key[1:4]]
+    downstream = network.router_grid[dst_key[1:4]]
+    upstream.quiesce_backward_port(src_key[4])
+    downstream.force_teardown(dst_key[4])
+    fabric.disable_port(src_key[1:4], upstream.config.backward_port_id(src_key[4]))
+    fabric.disable_port(
+        dst_key[1:4], downstream.config.forward_port_id(dst_key[4])
+    )
+    message = network.send(2, Message(dest=13, payload=[3, 1, 4]))
+    assert network.run_until_quiet(max_cycles=20000)
+    assert message.outcome == DELIVERED
+    oracle.check_quiescent(network.engine.cycle)
+    oracle.assert_clean()
+
+
 def test_violation_error_lists_offenders():
     oracle = Oracle([])
     oracle.violations.append(
