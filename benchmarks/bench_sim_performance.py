@@ -6,6 +6,8 @@ factor for large networks).  Reports simulated cycles/second for a
 loaded Figure 3 network and raw single-router tick rate.
 """
 
+import os
+
 from repro.core import words as W
 from repro.core.parameters import RouterParameters
 from repro.core.router import MetroRouter
@@ -14,7 +16,9 @@ from repro.harness.load_sweep import figure3_network
 from repro.sim.channel import Channel
 from repro.sim.engine import Engine
 
-CYCLES = 400
+# REPRO_BENCH_QUICK=1 is the CI smoke mode: enough cycles to exercise
+# the measurement path, not enough for stable absolute numbers.
+CYCLES = 150 if os.environ.get("REPRO_BENCH_QUICK") else 400
 
 
 def _loaded_network():

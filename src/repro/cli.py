@@ -16,9 +16,11 @@
     python -m repro chaos --seeds 2 --min-availability 0.8 --snapshot chaos.json
     python -m repro saturation --workers 4
     python -m repro send 5 15 --network figure1
+    python -m repro figure3 --backend events
     python -m repro verify --trials 100 --workers 4
     python -m repro verify --trials 100 --shrink
     python -m repro verify --replay .verify-artifacts/diff-fail-0.json
+    python -m repro verify --backend-diff --trials 52 --workers 4
 
 Commands exit nonzero on failure: ``send`` when the message is not
 delivered, ``faults`` when the degraded network delivers nothing (or
@@ -31,7 +33,11 @@ violation.
 ``--workers N`` fans a sweep's independent trials across N worker
 processes; results are bit-identical to a serial run for the same
 ``--seed``.  ``--cache-dir DIR`` reuses already-computed trial results
-across invocations (see ``docs/parallel.md``).
+across invocations (see ``docs/parallel.md``).  ``--backend events``
+runs a simulation command on the event-driven engine backend — same
+results, faster at low load (see ``docs/API.md`` and
+``repro.sim.backends``); ``verify --backend-diff`` checks that claim
+end to end.
 """
 
 import argparse
@@ -161,6 +167,8 @@ def _cmd_figure3(args):
     )
     if args.metrics:
         sweep_kwargs["metrics"] = True
+    if args.backend != "reference":
+        sweep_kwargs["backend"] = args.backend
     results = figure3_sweep(**sweep_kwargs)
     _report_runner_stats(runner)
     print(
@@ -211,6 +219,8 @@ def _cmd_faults(args):
             sweep_kwargs["metrics"] = True
         if args.max_attempts is not None:
             sweep_kwargs["max_attempts"] = args.max_attempts
+        if args.backend != "reference":
+            sweep_kwargs["backend"] = args.backend
         results = fault_degradation_sweep(**sweep_kwargs)
         _report_runner_stats(runner)
         print(
@@ -262,6 +272,7 @@ def _cmd_faults(args):
         measure_cycles=args.measure,
         metrics=args.metrics,
         max_attempts=args.max_attempts,
+        backend=args.backend,
     )
     print(format_table([result.as_dict()], title="Fault degradation point"))
     if args.metrics:
@@ -278,6 +289,9 @@ def _cmd_chaos(args):
 
     heal_modes = (True, False) if args.compare else (True,)
     runner = _runner(args)
+    sweep_kwargs = {}
+    if args.backend != "reference":
+        sweep_kwargs["backend"] = args.backend
     results = chaos_sweep(
         seeds=args.seeds,
         seed=args.seed,
@@ -293,6 +307,7 @@ def _cmd_chaos(args):
         metrics=args.metrics or bool(args.snapshot),
         oracle=args.oracle,
         runner=runner,
+        **sweep_kwargs
     )
     _report_runner_stats(runner)
     rows = []
@@ -401,6 +416,7 @@ def _cmd_saturation(args):
         seed=args.seed,
         measure_cycles=args.measure,
         metrics=args.metrics,
+        backend=args.backend,
         runner=runner,
     )
     _report_runner_stats(runner)
@@ -449,6 +465,7 @@ def _cmd_send(args):
         trace=trace,
         trace_routers=True,
         telemetry=telemetry,
+        backend=args.backend,
     )
     message = network.send(args.src, Message(dest=args.dest, payload=[1, 2, 3, 4]))
     network.run_until_quiet(max_cycles=args.max_cycles)
@@ -485,9 +502,34 @@ def _cmd_verify(args):
     from repro.verify.scenario import Scenario
     from repro.verify.shrink import shrink_scenario
 
+    if args.backend_diff:
+        from repro.verify.backend_diff import diff_failures, diff_sweep
+
+        runner = _runner(args)
+        reports = diff_sweep(
+            n_trials=args.trials,
+            seed=args.seed,
+            backend=args.backend if args.backend != "reference" else "events",
+            runner=runner,
+        )
+        _report_runner_stats(runner)
+        failures = diff_failures(reports)
+        print(
+            "backend diff sweep: {}/{} workloads byte-identical across "
+            "backends".format(len(reports) - len(failures), len(reports))
+        )
+        for report in failures:
+            print(
+                "MISMATCH {}[seed={}]:".format(report.kind, report.seed),
+                file=sys.stderr,
+            )
+            for line in report.mismatches[:5]:
+                print("  {}".format(line[:200]), file=sys.stderr)
+        return 1 if failures else 0
+
     if args.replay:
         scenario = Scenario.load(args.replay)
-        result = scenario.run(max_cycles=args.max_cycles)
+        result = scenario.run(max_cycles=args.max_cycles, backend=args.backend)
         print("replay {!r}".format(scenario))
         print(
             "  quiet={} outcomes={} violations={}".format(
@@ -576,11 +618,22 @@ def build_parser():
         "heatmap (identical for serial and parallel runs)"
     )
 
+    def add_backend(command):
+        command.add_argument(
+            "--backend",
+            choices=("reference", "events"),
+            default="reference",
+            help="engine backend: 'events' activity-gates idle "
+            "components for the same results faster at low load "
+            "(see docs/API.md)",
+        )
+
     fig3 = sub.add_parser("figure3", help="Figure 3 latency/load sweep")
     fig3.add_argument("--rates", default="0.002,0.01,0.04,0.16")
     fig3.add_argument("--warmup", type=int, default=600)
     fig3.add_argument("--measure", type=int, default=2500)
     fig3.add_argument("--metrics", action="store_true", help=metrics_help)
+    add_backend(fig3)
 
     faults = sub.add_parser("faults", help="fault-degradation point")
     faults.add_argument("--links", type=int, default=8)
@@ -618,6 +671,7 @@ def build_parser():
         "than N messages (retry-budget exhaustion)",
     )
     faults.add_argument("--metrics", action="store_true", help=metrics_help)
+    add_backend(faults)
 
     chaos = sub.add_parser(
         "chaos",
@@ -671,12 +725,14 @@ def build_parser():
         "(the chaos-smoke CI artifact)",
     )
     chaos.add_argument("--metrics", action="store_true", help=metrics_help)
+    add_backend(chaos)
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)
     saturation.add_argument(
         "--metrics", action="store_true", help=metrics_help
     )
+    add_backend(saturation)
 
     sub.add_parser("breakdown", help="latency decomposition by message size")
 
@@ -694,6 +750,7 @@ def build_parser():
         help="record the message's span timeline and write it as "
         "Chrome trace-event JSON (load in Perfetto or chrome://tracing)",
     )
+    add_backend(send)
 
     verify = sub.add_parser(
         "verify",
@@ -725,6 +782,15 @@ def build_parser():
         "oracle instead of sweeping",
     )
     verify.add_argument("--max-cycles", type=int, default=50000)
+    verify.add_argument(
+        "--backend-diff",
+        action="store_true",
+        help="instead of the latency-model sweep, differentially test "
+        "the --backend engine against the reference engine over "
+        "--trials seeded workloads (scenario/traffic/faults/chaos); "
+        "any observable difference fails the command",
+    )
+    add_backend(verify)
 
     return parser
 

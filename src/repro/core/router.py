@@ -42,7 +42,7 @@ from repro.core import words as W
 from repro.core.crossbar import CrossbarAllocator, RANDOM
 from repro.core.parameters import RouterConfig
 from repro.core.random_source import RandomStream, SharedRandomBus
-from repro.sim.component import Component
+from repro.sim.component import ACTIVE, Component, PARKED
 from repro.telemetry.nullobj import NULL_TELEMETRY
 
 # Forward-port FSM states (exposed for tests via connection_state()).
@@ -147,6 +147,9 @@ class MetroRouter(Component):
         if random_stream is None:
             random_stream = RandomStream(seed=hash(name) & 0xFFFFFFFF)
         self.random_stream = random_stream
+        #: Cascaded routers share a bus that must be advanced once per
+        #: cycle; checked here once instead of once per tick.
+        self._shared_bus = isinstance(random_stream, SharedRandomBus)
         self.allocator = CrossbarAllocator(
             self.config, random_stream, policy=selection_policy
         )
@@ -176,6 +179,10 @@ class MetroRouter(Component):
         #: recover through their dead-signal watchdogs and sources route
         #: around it by stochastic retry.
         self.dead = False
+        #: Set by the event-driven engine backend; out-of-tick mutators
+        #: (forced teardowns, scan drives) call it so a parked router is
+        #: re-scheduled.  None under the dense reference engine.
+        self.wake_hook = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -209,6 +216,58 @@ class MetroRouter(Component):
             and not self._draining
         )
 
+    # ------------------------------------------------------------------
+    # Activity protocol (event-driven engine backend)
+    # ------------------------------------------------------------------
+
+    def activity_state(self):
+        """How much of a cycle this router needs (see repro.sim.component).
+
+        A dead router is parked outright: its tick is an unconditional
+        early return.  A live router parks only when it is quiescent,
+        has no scan drive pending, *and* its last tick read silence on
+        every attached forward port — the boundary capture registers
+        then already hold the ``None`` the reference engine would keep
+        rewriting, so skipped cycles are observably identical even if a
+        run stops mid-park.
+        """
+        if self.dead:
+            return PARKED
+        if self._draining:
+            return ACTIVE
+        for conn in self._conns:
+            if conn.state != IDLE_STATE:
+                return ACTIVE
+        for fp in range(self.params.i):
+            if self.boundary_capture[fp] is not None:
+                return ACTIVE
+        for word in self._scan_drive:
+            if word is not None:
+                return ACTIVE
+        return PARKED
+
+    def on_park(self):
+        """Nothing to normalize: see :meth:`activity_state`."""
+
+    def attached_channels(self):
+        """``(channel, is_a_side)`` for every wired port.
+
+        Forward ports hold the B side of their (upstream) channel,
+        backward ports the A side of their (downstream) channel.
+        """
+        channels = []
+        for end in self.forward_ends:
+            if end is not None:
+                channels.append((end.channel, False))
+        for end in self.backward_ends:
+            if end is not None:
+                channels.append((end.channel, True))
+        return channels
+
+    def _notify_wake(self):
+        if self.wake_hook is not None:
+            self.wake_hook(self)
+
     def scan_drive_backward(self, port, word):
         """Scan subsystem: drive ``word`` out a *disabled* backward port.
 
@@ -227,6 +286,7 @@ class MetroRouter(Component):
                 "off-port drive not enabled for backward port {}".format(port)
             )
         self._scan_drive[port] = word
+        self._notify_wake()
 
     # ------------------------------------------------------------------
     # Per-cycle behaviour
@@ -236,12 +296,44 @@ class MetroRouter(Component):
         if self.dead:
             return
         self._cycle = cycle
-        if isinstance(self.random_stream, SharedRandomBus):
+        if self._shared_bus:
             self.random_stream.begin_cycle(cycle)
         self._service_backward_bcb()
-        self._service_draining()
+        if self._draining:
+            self._service_draining()
+        # The port loop is inlined (rather than calling a per-port
+        # helper) and skips the state dispatch for silent idle ports —
+        # the overwhelmingly common case on a lightly loaded network.
+        forward_ends = self.forward_ends
+        boundary = self.boundary_capture
+        enabled = self.config.port_enabled
         for conn in self._conns:
-            self._service_forward_port(conn)
+            fp = conn.fwd_port
+            fwd_end = forward_ends[fp]
+            if fwd_end is None:
+                continue
+            word = fwd_end.recv()
+            # The boundary register observes the pins even on a
+            # disabled port — that observability is what port-isolation
+            # tests use.  (Forward port ids equal forward indices.)
+            boundary[fp] = word
+            state = conn.state
+            if state == IDLE_STATE and (word is None or word.kind != W.DATA):
+                continue
+            if not enabled[fp]:
+                continue
+            if state == IDLE_STATE:
+                self._handle_idle(conn, word)
+            elif state == SETUP_STATE:
+                self._handle_setup(conn, word)
+            elif state == FORWARD_STATE:
+                self._handle_forward(conn, word)
+            elif state == BLOCKED_STATE:
+                self._handle_blocked(conn, word)
+            elif state == REVERSED_STATE:
+                self._handle_reversed(conn, word)
+            elif state == DISCARD_STATE:
+                self._handle_discard(conn, word)
         self._drive_scan_outputs()
 
     def _service_draining(self):
@@ -291,33 +383,6 @@ class MetroRouter(Component):
             conn.state = DISCARD_STATE
 
     # -- forward-port FSM ----------------------------------------------
-
-    def _service_forward_port(self, conn):
-        fp = conn.fwd_port
-        fwd_end = self.forward_ends[fp]
-        if fwd_end is None:
-            return
-        word = fwd_end.recv()
-        # The boundary register observes the pins even on a disabled
-        # port — that observability is what port-isolation tests use.
-        # (Forward port ids equal forward port indices; hot path.)
-        self.boundary_capture[fp] = word
-        if not self.config.port_enabled[fp]:
-            return
-
-        state = conn.state
-        if state == IDLE_STATE:
-            self._handle_idle(conn, word)
-        elif state == SETUP_STATE:
-            self._handle_setup(conn, word)
-        elif state == FORWARD_STATE:
-            self._handle_forward(conn, word)
-        elif state == BLOCKED_STATE:
-            self._handle_blocked(conn, word)
-        elif state == REVERSED_STATE:
-            self._handle_reversed(conn, word)
-        elif state == DISCARD_STATE:
-            self._handle_discard(conn, word)
 
     def _handle_idle(self, conn, word):
         if word is None or word.kind != W.DATA:
@@ -577,6 +642,7 @@ class MetroRouter(Component):
         self._record("forced-teardown", fwd_port, None)
         conn.reset()
         conn.state = DISCARD_STATE
+        self._notify_wake()
 
     def quiesce_backward_port(self, q):
         """Evict whatever owns backward port ``q`` (repair preparation).
@@ -596,6 +662,7 @@ class MetroRouter(Component):
             self._record("conn-drop", owner.fwd_port, q)
             self._release_backward(owner)
             self._draining.remove(owner)
+            self._notify_wake()
         else:
             self.force_teardown(owner.fwd_port)
         return True

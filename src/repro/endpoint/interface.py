@@ -29,7 +29,7 @@ import random
 from repro.core import words as W
 from repro.endpoint import messages as M
 from repro.endpoint.retry import UniformBackoff
-from repro.sim.component import Component
+from repro.sim.component import ACTIVE, Component, PARKED, POLL
 from repro.telemetry.nullobj import NULL_TELEMETRY
 
 ACK_OK = 1
@@ -219,6 +219,91 @@ class Endpoint(Component):
             self._service_send(self._sends[port])
         self._maybe_generate(cycle)
         self._maybe_start_send(cycle)
+
+    # ------------------------------------------------------------------
+    # Activity protocol (event-driven engine backend)
+    # ------------------------------------------------------------------
+
+    def activity_state(self):
+        """How much of a cycle this endpoint needs.
+
+        Anything queued, in flight or mid-receive demands the full
+        tick.  Otherwise a traffic source still needs polling each
+        cycle (:meth:`fast_poll` — the source may consume randomness
+        per cycle, so polls cannot be skipped), and a sourceless idle
+        endpoint parks until a word arrives or a submit wakes it.
+        """
+        if self._sends or self._queue:
+            return ACTIVE
+        for state in self._recv_states:
+            if state.phase != _RX_IDLE:
+                return ACTIVE
+        if self.traffic_source is not None and self.max_outstanding > 0:
+            # With max_outstanding == 0 the generate loop never draws,
+            # so the endpoint is inert despite the source: park it.
+            return POLL
+        return PARKED
+
+    def fast_poll(self, cycle):
+        """The POLL-state reduction of :meth:`tick`.
+
+        Exact when nothing is queued, in flight, or arriving (the
+        engine's wake rules guarantee arrivals promote the endpoint to
+        a full tick first): receive and send service loops are no-ops,
+        leaving only the traffic poll and a possible send start.  The
+        first source draw is inlined — POLL guarantees zero pending
+        sends, so the capacity check of ``_maybe_generate`` is vacuous
+        for it — and the return value tells the engine whether the
+        endpoint now has work (no re-classification call needed).
+        """
+        self._cycle = cycle
+        message = self.traffic_source(cycle)
+        if message is None:
+            return False
+        self.submit(message)
+        self._maybe_generate(cycle)
+        self._maybe_start_send(cycle)
+        return True
+
+    def on_park(self):
+        """Nothing to normalize; endpoint state is already minimal."""
+
+    def on_wake(self, cycle):
+        """Resynchronize the clock after parked cycles.
+
+        A parked component's ``_cycle`` goes stale; an out-of-band
+        :meth:`submit` timestamps messages with it, so the engine
+        resynchronizes before external work arrives.
+        """
+        if cycle > self._cycle:
+            self._cycle = cycle
+
+    def attached_channels(self):
+        """``(channel, is_a_side)`` for every wired port.
+
+        Source ports hold the A side of their stage-0 channel, receive
+        ports the B side of their final-stage channel.
+        """
+        channels = [(end.channel, True) for end in self.source_ends]
+        channels.extend((end.channel, False) for end in self.receive_ends)
+        return channels
+
+    def next_event_cycle(self):
+        """Idle-run compression hint: next cycle the poll could act.
+
+        ``None`` means unpredictable (a Bernoulli source consumes
+        randomness every cycle — never compressible); ``inf`` means no
+        pending work at all.  Trace-style sources expose the next
+        arrival via ``next_arrival_cycle``.
+        """
+        source = self.traffic_source
+        if source is None:
+            return float("inf")
+        probe = getattr(source, "next_arrival_cycle", None)
+        if probe is None:
+            return None
+        due = probe()
+        return float("inf") if due is None else due
 
     def _maybe_generate(self, cycle):
         if self.traffic_source is None:

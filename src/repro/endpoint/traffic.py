@@ -18,9 +18,12 @@ from repro.endpoint.messages import Message
 
 
 def random_payload(rng, words, w):
-    """A random payload of ``words`` values of ``w`` bits each."""
-    mask = (1 << w) - 1
-    return [rng.getrandbits(16) & mask for _ in range(words)]
+    """A random payload of ``words`` values of ``w`` bits each.
+
+    Draws exactly ``w`` bits per word: masking a fixed-width draw would
+    silently truncate payloads on datapaths wider than the draw.
+    """
+    return [rng.getrandbits(w) for _ in range(words)]
 
 
 class TrafficSource:
@@ -204,6 +207,34 @@ class AdversarialTraffic(TrafficSource):
         return source
 
 
+class _TraceSource:
+    """One endpoint's trace player.
+
+    A callable (the ``f(cycle) -> Message | None`` endpoints consult)
+    that also names its next arrival via :meth:`next_arrival_cycle`, so
+    the event-driven engine backend can compress the idle gaps between
+    trace events instead of polling through them.
+    """
+
+    __slots__ = ("_traffic", "_rng", "_queue")
+
+    def __init__(self, traffic, rng, queue):
+        self._traffic = traffic
+        self._rng = rng
+        self._queue = queue
+
+    def __call__(self, cycle):
+        queue = self._queue
+        if not queue or queue[0][0] > cycle:
+            return None
+        _cycle, dest = queue.pop(0)
+        return self._traffic._message(self._rng, dest)
+
+    def next_arrival_cycle(self):
+        """Cycle of the next queued event, or None when exhausted."""
+        return self._queue[0][0] if self._queue else None
+
+
 class TraceTraffic(TrafficSource):
     """Replays an explicit list of (cycle, src, dest) events."""
 
@@ -217,11 +248,4 @@ class TraceTraffic(TrafficSource):
     def source_for(self, endpoint_index):
         rng = self._rng(endpoint_index)
         queue = list(self._queues.get(endpoint_index, []))
-
-        def source(cycle):
-            if not queue or queue[0][0] > cycle:
-                return None
-            _cycle, dest = queue.pop(0)
-            return self._message(rng, dest)
-
-        return source
+        return _TraceSource(self, rng, queue)

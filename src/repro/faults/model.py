@@ -96,10 +96,14 @@ class DeadLink(_LinkFault):
     kind = LINK_DEAD
 
     def apply(self, network):
-        self._resolve(network).dead = True
+        channel = self._resolve(network)
+        channel.dead = True
+        network.engine.wake(channel)
 
     def revert(self, network):
-        self._resolve(network).dead = False
+        channel = self._resolve(network)
+        channel.dead = False
+        network.engine.wake(channel)
 
     def describe(self):
         return "{}({})".format(self.kind, self._channel_name())
@@ -159,6 +163,7 @@ class CorruptLink(_LinkFault):
             channel.fault_a_to_b = self._corrupt
         if self.direction in ("b_to_a", "both"):
             channel.fault_b_to_a = self._corrupt
+        network.engine.wake(channel)
 
     def revert(self, network):
         channel = self._resolve(network)
@@ -166,6 +171,7 @@ class CorruptLink(_LinkFault):
             channel.fault_a_to_b = None
         if self.direction in ("b_to_a", "both"):
             channel.fault_b_to_a = None
+        network.engine.wake(channel)
 
     def describe(self):
         return "{}({}, p={})".format(
@@ -192,10 +198,17 @@ class DeadRouter(Fault):
         return network.router_grid[(self.stage, self.block, self.index)]
 
     def apply(self, network):
-        self._router(network).dead = True
+        router = self._router(network)
+        router.dead = True
+        network.engine.wake(router)
 
     def revert(self, network):
-        self._router(network).dead = False
+        # Waking is mandatory here: the revived router may hold frozen
+        # mid-connection state (watchdogs, drains) that an event-driven
+        # backend would otherwise never re-schedule.
+        router = self._router(network)
+        router.dead = False
+        network.engine.wake(router)
 
     def describe(self):
         return "{}(r{}.{}.{})".format(self.kind, self.stage, self.block, self.index)
@@ -221,10 +234,14 @@ class DisabledPort(Fault):
         return network.router_grid[(self.stage, self.block, self.index)]
 
     def apply(self, network):
-        self._router(network).config.port_enabled[self.port_id] = False
+        router = self._router(network)
+        router.config.port_enabled[self.port_id] = False
+        network.engine.wake(router)
 
     def revert(self, network):
-        self._router(network).config.port_enabled[self.port_id] = True
+        router = self._router(network)
+        router.config.port_enabled[self.port_id] = True
+        network.engine.wake(router)
 
     def describe(self):
         return "{}(r{}.{}.{} port {})".format(
@@ -311,6 +328,19 @@ class TransientFault(Fault):
                 self._next_change = cycle + self._draw(self.mttr)
         return events
 
+    def next_change_cycle(self):
+        """The next cycle :meth:`poll` could take a transition.
+
+        Before the first poll that is the healthy lead-in's end
+        (``start``) — polling there initializes the schedule with
+        exactly the draws the reference engine's every-cycle polling
+        would make.  Used by the fault injector's idle-run compression
+        hint.
+        """
+        if self._next_change is None:
+            return self.start
+        return self._next_change
+
     def __getstate__(self):
         state = dict(self.__dict__)
         state["_rng_obj"] = None
@@ -349,10 +379,14 @@ class FlakyLink(TransientFault):
         return self.channel
 
     def apply(self, network):
-        self._resolve(network).dead = True
+        channel = self._resolve(network)
+        channel.dead = True
+        network.engine.wake(channel)
 
     def revert(self, network):
-        self._resolve(network).dead = False
+        channel = self._resolve(network)
+        channel.dead = False
+        network.engine.wake(channel)
 
     def describe(self):
         name = (
@@ -399,10 +433,16 @@ class FlakyRouter(TransientFault):
         return network.router_grid[(self.stage, self.block, self.index)]
 
     def apply(self, network):
-        self._router(network).dead = True
+        router = self._router(network)
+        router.dead = True
+        network.engine.wake(router)
 
     def revert(self, network):
-        self._router(network).dead = False
+        # See DeadRouter.revert: frozen mid-connection state must be
+        # re-scheduled when the router comes back up.
+        router = self._router(network)
+        router.dead = False
+        network.engine.wake(router)
 
     def describe(self):
         return "{}(r{}.{}.{}, mtbf={}, mttr={})".format(

@@ -187,6 +187,7 @@ def run_chaos_point(
     manager_kwargs=None,
     metrics=False,
     oracle=False,
+    backend="reference",
 ):
     """One chaos soak: seeded transient + hard faults, optional healing.
 
@@ -211,16 +212,27 @@ def run_chaos_point(
         "verify_stage_checksums": True,
         "max_attempts": max_attempts,
     }
+    factory_kwargs = {}
+    if backend != "reference":
+        # Forwarded only when overridden so custom factories without a
+        # backend parameter keep working (and reference cache keys stay
+        # stable).
+        factory_kwargs["backend"] = backend
     telemetry = None
     if metrics:
         from repro.telemetry import TelemetryHub
 
         telemetry = TelemetryHub(spans=False)
         network = network_factory(
-            seed=seed, telemetry=telemetry, endpoint_kwargs=endpoint_kwargs
+            seed=seed,
+            telemetry=telemetry,
+            endpoint_kwargs=endpoint_kwargs,
+            **factory_kwargs
         )
     else:
-        network = network_factory(seed=seed, endpoint_kwargs=endpoint_kwargs)
+        network = network_factory(
+            seed=seed, endpoint_kwargs=endpoint_kwargs, **factory_kwargs
+        )
 
     watcher = None
     if oracle:

@@ -28,6 +28,7 @@ def run_fault_point(
     metrics=False,
     max_attempts=None,
     retry_policy=None,
+    backend="reference",
 ):
     """One (fault level, load) measurement.
 
@@ -37,23 +38,33 @@ def run_fault_point(
     discipline; with a finite budget, messages that exhaust it are
     counted in ``result.undeliverable`` (note: a ``retry_policy``
     object in the params makes the trial spec uncacheable — prefer
-    plain ``max_attempts`` for swept trials).
+    plain ``max_attempts`` for swept trials).  ``backend`` selects the
+    engine backend; forwarded to ``network_factory`` only when not the
+    default, so custom factories keep working.
     """
     endpoint_kwargs = {}
     if max_attempts is not None:
         endpoint_kwargs["max_attempts"] = max_attempts
     if retry_policy is not None:
         endpoint_kwargs["retry_policy"] = retry_policy
+    factory_kwargs = {}
+    if backend != "reference":
+        factory_kwargs["backend"] = backend
     telemetry = None
     if metrics:
         from repro.telemetry import TelemetryHub
 
         telemetry = TelemetryHub(spans=False)
         network = network_factory(
-            seed=seed, telemetry=telemetry, endpoint_kwargs=endpoint_kwargs
+            seed=seed,
+            telemetry=telemetry,
+            endpoint_kwargs=endpoint_kwargs,
+            **factory_kwargs
         )
     else:
-        network = network_factory(seed=seed, endpoint_kwargs=endpoint_kwargs)
+        network = network_factory(
+            seed=seed, endpoint_kwargs=endpoint_kwargs, **factory_kwargs
+        )
     injector = FaultInjector(network)
     faults = random_fault_scenario(
         network,

@@ -62,6 +62,7 @@ def run_load_point(
     network_factory=figure3_network,
     traffic_class=UniformRandomTraffic,
     metrics=False,
+    backend="reference",
 ):
     """One point of the latency/load curve.
 
@@ -69,15 +70,24 @@ def run_load_point(
     :class:`~repro.telemetry.TelemetryHub` to the network and attaches
     its picklable snapshot to the result (``result.metrics``); spans
     stay off — a sweep point generates far too many to keep.
+
+    ``backend`` selects the engine backend (see
+    :mod:`repro.sim.backends`); results are identical either way, the
+    ``"events"`` backend is just faster at low load.  The default is
+    only forwarded to ``network_factory`` when overridden, so custom
+    factories without a ``backend`` parameter keep working.
     """
+    factory_kwargs = {}
+    if backend != "reference":
+        factory_kwargs["backend"] = backend
     telemetry = None
     if metrics:
         from repro.telemetry import TelemetryHub
 
         telemetry = TelemetryHub(spans=False)
-        network = network_factory(seed=seed, telemetry=telemetry)
+        network = network_factory(seed=seed, telemetry=telemetry, **factory_kwargs)
     else:
-        network = network_factory(seed=seed)
+        network = network_factory(seed=seed, **factory_kwargs)
     traffic = traffic_class(
         n_endpoints=network.plan.n_endpoints,
         w=network.codec.w,

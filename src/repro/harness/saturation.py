@@ -38,13 +38,16 @@ def saturation_trial_specs(
     warmup_cycles=800,
     measure_cycles=3000,
     metrics=False,
+    backend="reference",
 ):
     """The geometric rate ladder as :class:`TrialSpec` objects."""
     specs = []
     rate = start_rate
-    # metrics only enters the params (and hence the trial cache key)
-    # when requested, so metric-free sweeps keep their cache entries.
+    # metrics/backend only enter the params (and hence the trial cache
+    # key) when requested, so default sweeps keep their cache entries.
     extra = {"metrics": True} if metrics else {}
+    if backend != "reference":
+        extra["backend"] = backend
     for _step in range(max_steps):
         specs.append(
             TrialSpec(
@@ -96,6 +99,7 @@ def find_saturation(
     warmup_cycles=800,
     measure_cycles=3000,
     metrics=False,
+    backend="reference",
     workers=1,
     cache_dir=None,
     progress=None,
@@ -120,6 +124,7 @@ def find_saturation(
         warmup_cycles=warmup_cycles,
         measure_cycles=measure_cycles,
         metrics=metrics,
+        backend=backend,
     )
     if runner is None:
         runner = TrialRunner(workers=workers, cache_dir=cache_dir, progress=progress)

@@ -18,8 +18,8 @@ from repro.endpoint.interface import Endpoint
 from repro.endpoint.messages import MessageLog
 from repro.network.headers import HeaderCodec
 from repro.network.multibutterfly import wire
+from repro.sim.backends import make_engine
 from repro.sim.channel import Channel
-from repro.sim.engine import Engine
 from repro.sim.trace import Trace
 
 
@@ -82,7 +82,12 @@ class MetroNetwork:
 
     def send(self, src, message):
         """Submit ``message`` at endpoint ``src``; returns the message."""
-        return self.endpoints[src].submit(message)
+        endpoint = self.endpoints[src]
+        # The endpoint may have been parked by an event-driven engine
+        # backend with a stale clock; wake (and resync) it before the
+        # submit so queue timestamps match the reference engine's.
+        self.engine.wake(endpoint)
+        return endpoint.submit(message)
 
     def request(self, src, dest, payload, max_cycles=30000):
         """Synchronous request/reply: send, run until done, return reply.
@@ -127,6 +132,7 @@ def build_network(
     trace=None,
     trace_routers=False,
     telemetry=None,
+    backend="reference",
 ):
     """Instantiate every component of a METRO network.
 
@@ -152,9 +158,13 @@ def build_network(
         :class:`~repro.telemetry.TelemetryHub`; it is bound to the
         finished network (engine observer + per-component hooks).
         Omitted, every component carries the null-telemetry fast path.
+    :param backend: simulation engine backend — ``"reference"`` (the
+        dense two-phase sweep) or ``"events"`` (the activity-gated
+        event-driven engine of :mod:`repro.sim.backends`; identical
+        results, faster at low-to-moderate load).
     """
     rng = random.Random(seed)
-    engine = Engine()
+    engine = make_engine(backend)
     log = MessageLog()
     endpoint_kwargs = dict(endpoint_kwargs or {})
 

@@ -84,6 +84,8 @@ class Channel:
         "dead",
         "half_duplex_violations",
         "telemetry",
+        "hot_hook",
+        "_ev_rec",
     )
 
     def __init__(self, delay=1, name="channel"):
@@ -112,6 +114,16 @@ class Channel:
         #: Set by TelemetryHub.bind to count wire activity; None (the
         #: default) keeps the advance hot path free of telemetry work.
         self.telemetry = None
+        #: Set by the event-driven engine backend: called with this
+        #: channel whenever a word is staged onto it, so the engine
+        #: learns a sleeping wire went hot without scanning.  None (the
+        #: default, and always under the reference engine) costs one
+        #: branch per send.
+        self.hot_hook = None
+        #: Event-engine advance record ``(pipe, pipe, pipe, pipe,
+        #: a_component, b_component)``; built by the backend's prepare
+        #: pass so its advance loop avoids repeated attribute chains.
+        self._ev_rec = None
 
     @property
     def a(self):
@@ -148,6 +160,8 @@ class Channel:
             self._a_to_b.push(word)
         else:
             self._b_to_a.push(word)
+        if self.hot_hook is not None:
+            self.hot_hook(self)
 
     def _recv(self, side):
         if side == "a":
@@ -167,6 +181,8 @@ class Channel:
             self._bcb_a_to_b.push(value)
         else:
             self._bcb_b_to_a.push(value)
+        if self.hot_hook is not None:
+            self.hot_hook(self)
 
     def _recv_bcb(self, side):
         if self.dead:
@@ -223,6 +239,9 @@ class ChannelEnd:
     def send(self, word):
         """Stage ``word`` onto the wire toward the other side."""
         self._tx.staged = word
+        hook = self.channel.hot_hook
+        if hook is not None:
+            hook(self.channel)
 
     def recv(self):
         """Read the word arriving at this side this cycle (or None)."""
@@ -247,6 +266,9 @@ class ChannelEnd:
         *Path Reclamation*).
         """
         self._bcb_tx.staged = value
+        hook = self.channel.hot_hook
+        if hook is not None:
+            hook(self.channel)
 
     def recv_bcb(self):
         """Read the backward-control pulse arriving this cycle (or None)."""

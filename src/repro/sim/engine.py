@@ -32,6 +32,13 @@ class Engine:
       or past it raises :class:`EngineDeadlineError`.  Worker processes
       use this so a runaway trial fails loudly instead of hanging a
       pool.
+
+    The deadline takes precedence over every soft budget: a
+    ``run_until`` whose ``max_cycles`` extends past the deadline raises
+    :class:`EngineDeadlineError` at the deadline cycle rather than
+    silently returning False at budget exhaustion (see
+    ``tests/sim/test_engine_guards.py``).  Backends (see
+    :mod:`repro.sim.backends`) must preserve both guards cycle-exactly.
     """
 
     def __init__(self):
@@ -100,6 +107,18 @@ class Engine:
     def clear_deadline(self):
         """Remove any cycle deadline."""
         self.deadline = None
+
+    def wake(self, obj):
+        """Nudge a component or channel that was mutated out-of-band.
+
+        The dense reference engine visits everything every cycle, so
+        this is a no-op here.  Event-driven backends override it to
+        re-schedule parked components (and re-heat idle channels) when
+        a fault strikes, a message is submitted from outside a tick, or
+        a scan operation drives a wire.  Callers may invoke it
+        unconditionally — it is always safe, never required for
+        correctness on this engine.
+        """
 
     def step(self):
         """Advance the simulation by exactly one clock cycle."""

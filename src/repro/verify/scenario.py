@@ -156,22 +156,23 @@ class Scenario:
             "no endpoint multiplicity wires up {!r}: {}".format(self, last_error)
         )
 
-    def build(self, **endpoint_kwargs):
+    def build(self, backend="reference", **endpoint_kwargs):
         return build_network(
             self.plan(),
             seed=self.seed,
             link_delay=self.link_delay,
             fast_reclaim=self.fast_reclaim,
             endpoint_kwargs=endpoint_kwargs or None,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, max_cycles=50000):
+    def run(self, max_cycles=50000, backend="reference"):
         """Simulate the scenario under the conformance oracle."""
-        network = self.build(verify_stage_checksums=True)
+        network = self.build(backend=backend, verify_stage_checksums=True)
         oracle = attach_oracle(network)
         sent = [
             network.send(

@@ -74,6 +74,23 @@ class TestHotspot:
         hot = sum(1 for m in messages if m.dest == 0)
         assert hot / len(messages) > 0.4  # ~0.53 expected
 
+    def test_fraction_one_sends_only_to_the_hotspot(self):
+        traffic = HotspotTraffic(16, 4, rate=1.0, hotspot=3, fraction=1.0, seed=8)
+        messages = _drain(traffic.source_for(9), 300)
+        assert messages
+        assert all(m.dest == 3 for m in messages)
+
+    def test_fraction_zero_degenerates_to_uniform(self):
+        traffic = HotspotTraffic(16, 4, rate=1.0, hotspot=0, fraction=0.0, seed=8)
+        messages = _drain(traffic.source_for(9), 2000)
+        hot = sum(1 for m in messages if m.dest == 0)
+        # No concentration: the hotspot gets its uniform 1/16 share.
+        assert hot / len(messages) < 0.15
+
+    def test_hotspot_endpoint_never_sends_to_itself(self):
+        traffic = HotspotTraffic(16, 4, rate=1.0, hotspot=5, fraction=1.0, seed=8)
+        assert _drain(traffic.source_for(5), 300) == []
+
 
 class TestPermutation:
     def test_bit_reverse_helper(self):
@@ -102,6 +119,20 @@ class TestPermutation:
     def test_fixed_point_generates_nothing(self):
         traffic = PermutationTraffic(4, 4, rate=1.0, permutation=[0, 2, 1, 3])
         assert _drain(traffic.source_for(0), 50) == []
+        assert _drain(traffic.source_for(3), 50) == []
+
+    def test_bit_reverse_fixed_points_are_self_send_excluded(self):
+        # bit_reverse leaves palindromic indices (0, 6, 9, 15 for 16
+        # endpoints) mapped to themselves; those endpoints must stay
+        # silent rather than self-send.
+        traffic = PermutationTraffic(16, 4, rate=1.0, permutation="bit-reverse")
+        for endpoint in range(16):
+            messages = _drain(traffic.source_for(endpoint), 20)
+            if traffic.mapping[endpoint] == endpoint:
+                assert messages == []
+            else:
+                assert messages
+                assert all(m.dest != endpoint for m in messages)
 
 
 class TestTrace:
@@ -120,13 +151,44 @@ class TestTrace:
         traffic = TraceTraffic(8, 4, events=[(0, 2, 6)])
         assert _drain(traffic.source_for(3), 10) == []
 
+    def test_events_sorted_regardless_of_input_order(self):
+        traffic = TraceTraffic(8, 4, events=[(30, 1, 5), (4, 1, 2), (11, 1, 7)])
+        assert traffic.events == [(4, 1, 2), (11, 1, 7), (30, 1, 5)]
+        source = traffic.source_for(1)
+        dests = [m.dest for m in _drain(source, 40)]
+        assert dests == [2, 7, 5]  # queue drains in cycle order
 
-def test_random_payload_respects_width():
+    def test_same_cycle_events_keep_tuple_order(self):
+        traffic = TraceTraffic(8, 4, events=[(5, 1, 6), (5, 1, 2)])
+        source = traffic.source_for(1)
+        first = source(5)
+        second = source(5)  # one event per poll; same-cycle ties queue
+        assert (first.dest, second.dest) == (2, 6)
+
+    def test_next_arrival_cycle_tracks_the_queue(self):
+        traffic = TraceTraffic(8, 4, events=[(4, 1, 2), (11, 1, 7)])
+        source = traffic.source_for(1)
+        assert source.next_arrival_cycle() == 4
+        assert source(4) is not None
+        assert source.next_arrival_cycle() == 11
+        assert source(11) is not None
+        assert source.next_arrival_cycle() is None  # exhausted
+
+
+@pytest.mark.parametrize("w", [1, 4, 8, 12, 16, 20, 24])
+def test_random_payload_respects_width(w):
     import random
 
-    values = random_payload(random.Random(0), 100, 4)
-    assert len(values) == 100
-    assert all(0 <= v < 16 for v in values)
+    values = random_payload(random.Random(0), 400, w)
+    assert len(values) == 400
+    assert all(0 <= v < (1 << w) for v in values)
+    # Regression: payload words were once drawn as 16-bit values and
+    # masked, silently truncating wide datapaths and never exercising
+    # the high bits.  400 draws make a value above half-range (and, for
+    # w > 16, above the old 16-bit ceiling) a statistical certainty.
+    assert max(values) >= (1 << (w - 1))
+    if w > 16:
+        assert max(values) > 0xFFFF
 
 
 class TestAdversarial:

@@ -101,6 +101,24 @@ def test_spec_fingerprint_stable_and_parameter_sensitive():
     assert spec.fingerprint() != other_seed.fingerprint()
 
 
+def test_spec_fingerprint_distinguishes_engine_backends():
+    """A cached reference-backend trial must never satisfy an events
+    request (or vice versa) — and the default sweep's cache entries
+    must keep their pre-backend identity, so the knob only enters the
+    params when overridden."""
+    from repro.harness.load_sweep import load_trial_specs
+
+    default, = load_trial_specs(rates=(0.01,), seed=5)
+    events, = load_trial_specs(rates=(0.01,), seed=5, backend="events")
+    assert default.seed == events.seed
+    # The default sweep's params — and so its cache identity — are
+    # unchanged from before the backend knob existed...
+    assert "backend" not in default.params
+    # ...while an events sweep of the same seed hashes differently.
+    assert events.params["backend"] == "events"
+    assert default.fingerprint() != events.fingerprint()
+
+
 def test_spec_fingerprint_includes_code_version():
     spec = TrialSpec("repro.harness.load_sweep:run_load_point",
                      params=dict(rate=0.01), seed=5)

@@ -131,6 +131,32 @@ def test_observers_tick_after_every_component():
     assert trail == ["late-traffic", "oracle", "late-traffic", "oracle"]
 
 
+@pytest.mark.parametrize("backend", ["reference", "events"])
+def test_run_until_due_deadline_raises_instead_of_returning(backend):
+    """Deadline precedence over the max_cycles budget, both backends:
+    a worker's hard ceiling must surface as EngineDeadlineError, never
+    as run_until's silent 'predicate stayed false' return."""
+    from repro.sim.backends import make_engine
+
+    engine = make_engine(backend)
+    engine.set_deadline(3)
+    with pytest.raises(EngineDeadlineError):
+        engine.run_until(lambda e: False, max_cycles=100)
+    assert engine.cycle == 3
+
+
+@pytest.mark.parametrize("backend", ["reference", "events"])
+def test_run_until_budget_exhausts_before_the_deadline(backend):
+    """The silent False return is reserved for the budget: with the
+    deadline still in the future, max_cycles wins quietly."""
+    from repro.sim.backends import make_engine
+
+    engine = make_engine(backend)
+    engine.set_deadline(10)
+    assert not engine.run_until(lambda e: False, max_cycles=4)
+    assert engine.cycle == 4
+
+
 def test_past_deadline_is_rejected_up_front():
     engine = Engine()
     engine.run(4)
