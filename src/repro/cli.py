@@ -287,29 +287,45 @@ def _cmd_chaos(args):
     from repro.harness.chaos import chaos_slo_failures, chaos_sweep
     from repro.harness.reporting import format_table, sparkline
 
-    heal_modes = (True, False) if args.compare else (True,)
-    runner = _runner(args)
-    sweep_kwargs = {}
-    if args.backend != "reference":
-        sweep_kwargs["backend"] = args.backend
-    results = chaos_sweep(
-        seeds=args.seeds,
-        seed=args.seed,
-        self_heal=heal_modes,
-        n_windows=args.windows,
-        window_cycles=args.window_cycles,
-        warmup_windows=args.warmup_windows,
-        n_flaky_links=args.flaky_links,
-        n_dead_routers=args.dead_routers,
-        mtbf=args.mtbf,
-        mttr=args.mttr,
-        rate=args.rate,
-        metrics=args.metrics or bool(args.snapshot),
-        oracle=args.oracle,
-        runner=runner,
-        **sweep_kwargs
-    )
-    _report_runner_stats(runner)
+    if args.resume:
+        from repro.harness.chaos import resume_chaos_point
+
+        result = resume_chaos_point(args.resume, backend=args.backend)
+        print("resumed interrupted soak from {}".format(args.resume))
+        results = [result]
+    else:
+        heal_modes = (True, False) if args.compare else (True,)
+        runner = _runner(args)
+        sweep_kwargs = {}
+        if args.backend != "reference":
+            sweep_kwargs["backend"] = args.backend
+        if args.snapshot_every:
+            if not args.snapshot_dir:
+                print(
+                    "--snapshot-every requires --snapshot-dir",
+                    file=sys.stderr,
+                )
+                return 2
+            sweep_kwargs["snapshot_every"] = args.snapshot_every
+            sweep_kwargs["snapshot_dir"] = args.snapshot_dir
+        results = chaos_sweep(
+            seeds=args.seeds,
+            seed=args.seed,
+            self_heal=heal_modes,
+            n_windows=args.windows,
+            window_cycles=args.window_cycles,
+            warmup_windows=args.warmup_windows,
+            n_flaky_links=args.flaky_links,
+            n_dead_routers=args.dead_routers,
+            mtbf=args.mtbf,
+            mttr=args.mttr,
+            rate=args.rate,
+            metrics=args.metrics or bool(args.snapshot),
+            oracle=args.oracle,
+            runner=runner,
+            **sweep_kwargs
+        )
+        _report_runner_stats(runner)
     rows = []
     for result in results:
         row = result.as_dict()
@@ -319,25 +335,29 @@ def _cmd_chaos(args):
         del row["fault_events"]
         del row["seed"]
         rows.append(row)
-    print(
-        format_table(
-            rows,
-            title="Chaos soak: {} seed(s), {} windows x {} cycles, "
+    if args.resume:
+        title = "Chaos soak: resumed, {} windows x {} cycles".format(
+            len(results[0].windows), results[0].window_cycles
+        )
+    else:
+        title = (
+            "Chaos soak: {} seed(s), {} windows x {} cycles, "
             "{} flaky link(s) + {} dead router(s)".format(
                 args.seeds,
                 args.windows,
                 args.window_cycles,
                 args.flaky_links,
                 args.dead_routers,
-            ),
-            floatfmt="{:.2f}",
+            )
         )
-    )
+    print(format_table(rows, title=title, floatfmt="{:.2f}"))
     if args.metrics:
         from repro.harness.reporting import format_percentiles
         from repro.telemetry import MetricsSnapshot
 
-        merged = MetricsSnapshot.merge_all(r.metrics for r in results)
+        merged = MetricsSnapshot.merge_all(
+            r.metrics for r in results if r.metrics is not None
+        )
         if len(merged):
             print()
             print(
@@ -352,7 +372,9 @@ def _cmd_chaos(args):
 
         from repro.telemetry import MetricsSnapshot
 
-        merged = MetricsSnapshot.merge_all(r.metrics for r in results)
+        merged = MetricsSnapshot.merge_all(
+            r.metrics for r in results if r.metrics is not None
+        )
         document = {
             "soaks": [r.as_dict() for r in results],
             "metrics": merged.as_dict(),
@@ -521,6 +543,35 @@ def _cmd_verify(args):
         for report in failures:
             print(
                 "MISMATCH {}[seed={}]:".format(report.kind, report.seed),
+                file=sys.stderr,
+            )
+            for line in report.mismatches[:5]:
+                print("  {}".format(line[:200]), file=sys.stderr)
+        return 1 if failures else 0
+
+    if args.resume_diff:
+        from repro.verify.resume_diff import resume_failures, resume_sweep
+
+        runner = _runner(args)
+        reports = resume_sweep(
+            n_trials=args.trials, seed=args.seed, runner=runner
+        )
+        _report_runner_stats(runner)
+        failures = resume_failures(reports)
+        print(
+            "resume diff sweep: {}/{} workloads resumed byte-identically "
+            "from mid-run snapshots (incl. cross-backend)".format(
+                len(reports) - len(failures), len(reports)
+            )
+        )
+        for report in failures:
+            print(
+                "MISMATCH {}[seed={}] {}->{}:".format(
+                    report.kind,
+                    report.seed,
+                    report.backend,
+                    report.restore_backend,
+                ),
                 file=sys.stderr,
             )
             for line in report.mismatches[:5]:
@@ -720,6 +771,22 @@ def build_parser():
         "episode exceeds CYCLES",
     )
     chaos.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="K",
+        help="checkpoint each live soak every K completed windows into "
+        "a ring of engine snapshots under --snapshot-dir (one "
+        "subdirectory per soak); a crashed run resumes with --resume",
+    )
+    chaos.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="directory for the --snapshot-every checkpoint rings",
+    )
+    chaos.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume one interrupted soak from its checkpoint ring "
+        "(a soak subdirectory of a --snapshot-dir) instead of starting "
+        "a sweep; restores onto --backend and finishes the soak",
+    )
+    chaos.add_argument(
         "--snapshot", default=None, metavar="FILE",
         help="write soak summaries + merged telemetry metrics as JSON "
         "(the chaos-smoke CI artifact)",
@@ -789,6 +856,15 @@ def build_parser():
         "the --backend engine against the reference engine over "
         "--trials seeded workloads (scenario/traffic/faults/chaos); "
         "any observable difference fails the command",
+    )
+    verify.add_argument(
+        "--resume-diff",
+        action="store_true",
+        help="prove snapshot/restore transparency: each of --trials "
+        "seeded workloads (scenario/traffic/faults/chaos) is run "
+        "straight through and as run-half/snapshot/restore/run-half "
+        "across every (capture, restore) backend pair; any observable "
+        "difference fails the command",
     )
     add_backend(verify)
 

@@ -185,6 +185,39 @@ class MetroRouter(Component):
         self.wake_hook = None
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Shed engine- and scan-installed machinery for snapshots.
+
+        ``wake_hook`` is re-installed by the event backend's prepare
+        pass.  ``multitap`` (when a scan fabric attached one) holds
+        closure-captured scan registers that cannot pickle; it is
+        replaced by a marker and rebuilt on restore.  Every scan
+        transaction begins from Test-Logic-Reset, so residual TAP/DR
+        state between transactions is unobservable and a fresh MultiTap
+        is behaviourally identical — except for deliberately killed TAP
+        ports, which the marker carries across.
+        """
+        state = dict(self.__dict__)
+        state["wake_hook"] = None
+        multitap = state.pop("multitap", None)
+        if multitap is not None:
+            state["_scan_marker"] = (multitap.sp, sorted(multitap.dead_ports))
+        return state
+
+    def __setstate__(self, state):
+        marker = state.pop("_scan_marker", None)
+        self.__dict__.update(state)
+        if marker is not None:
+            from repro.scan.controller import attach_scan
+
+            sp, dead_ports = marker
+            multitap = attach_scan(self, sp=sp)
+            multitap.dead_ports.update(dead_ports)
+
+    # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
 

@@ -33,6 +33,11 @@ class TrafficSource:
     None`` an :class:`~repro.endpoint.interface.Endpoint` consults when
     it has capacity.  Generators count what they hand out, so offered
     load can be reported exactly.
+
+    Sources are plain callable objects (not closures) so a live
+    network — endpoints and their attached sources included — pickles
+    for engine snapshots (:mod:`repro.sim.snapshot`); the per-endpoint
+    ``random.Random`` stream rides along and resumes mid-sequence.
     """
 
     def __init__(self, n_endpoints, w, message_words=20, seed=0):
@@ -76,17 +81,28 @@ class UniformRandomTraffic(TrafficSource):
         self.exclude_self = exclude_self
 
     def source_for(self, endpoint_index):
-        rng = self._rng(endpoint_index)
+        return _UniformSource(self, self._rng(endpoint_index), endpoint_index)
 
-        def source(cycle):
-            if rng.random() >= self.rate:
-                return None
-            dest = rng.randrange(self.n_endpoints)
-            while self.exclude_self and dest == endpoint_index:
-                dest = rng.randrange(self.n_endpoints)
-            return self._message(rng, dest)
 
-        return source
+class _UniformSource:
+    """One endpoint's uniform Bernoulli injector (picklable callable)."""
+
+    __slots__ = ("_traffic", "_rng", "_index")
+
+    def __init__(self, traffic, rng, index):
+        self._traffic = traffic
+        self._rng = rng
+        self._index = index
+
+    def __call__(self, cycle):
+        traffic = self._traffic
+        rng = self._rng
+        if rng.random() >= traffic.rate:
+            return None
+        dest = rng.randrange(traffic.n_endpoints)
+        while traffic.exclude_self and dest == self._index:
+            dest = rng.randrange(traffic.n_endpoints)
+        return traffic._message(rng, dest)
 
 
 class HotspotTraffic(TrafficSource):
@@ -100,20 +116,31 @@ class HotspotTraffic(TrafficSource):
         self.fraction = fraction
 
     def source_for(self, endpoint_index):
-        rng = self._rng(endpoint_index)
+        return _HotspotSource(self, self._rng(endpoint_index), endpoint_index)
 
-        def source(cycle):
-            if rng.random() >= self.rate:
-                return None
-            if rng.random() < self.fraction:
-                dest = self.hotspot
-            else:
-                dest = rng.randrange(self.n_endpoints)
-            if dest == endpoint_index:
-                return None
-            return self._message(rng, dest)
 
-        return source
+class _HotspotSource:
+    """One endpoint's hotspot injector (picklable callable)."""
+
+    __slots__ = ("_traffic", "_rng", "_index")
+
+    def __init__(self, traffic, rng, index):
+        self._traffic = traffic
+        self._rng = rng
+        self._index = index
+
+    def __call__(self, cycle):
+        traffic = self._traffic
+        rng = self._rng
+        if rng.random() >= traffic.rate:
+            return None
+        if rng.random() < traffic.fraction:
+            dest = traffic.hotspot
+        else:
+            dest = rng.randrange(traffic.n_endpoints)
+        if dest == self._index:
+            return None
+        return traffic._message(rng, dest)
 
 
 def bit_reverse(value, bits):
@@ -149,15 +176,31 @@ class PermutationTraffic(TrafficSource):
             self.mapping = list(permutation)
 
     def source_for(self, endpoint_index):
-        rng = self._rng(endpoint_index)
-        partner = self.mapping[endpoint_index]
+        return _PartnerSource(
+            self,
+            self._rng(endpoint_index),
+            endpoint_index,
+            self.mapping[endpoint_index],
+        )
 
-        def source(cycle):
-            if rng.random() >= self.rate or partner == endpoint_index:
-                return None
-            return self._message(rng, partner)
 
-        return source
+class _PartnerSource:
+    """One endpoint's fixed-partner injector (picklable callable)."""
+
+    __slots__ = ("_traffic", "_rng", "_index", "_partner")
+
+    def __init__(self, traffic, rng, index, partner):
+        self._traffic = traffic
+        self._rng = rng
+        self._index = index
+        self._partner = partner
+
+    def __call__(self, cycle):
+        traffic = self._traffic
+        rng = self._rng
+        if rng.random() >= traffic.rate or self._partner == self._index:
+            return None
+        return traffic._message(rng, self._partner)
 
 
 def bit_complement(value, bits):
@@ -196,15 +239,12 @@ class AdversarialTraffic(TrafficSource):
             raise ValueError("unknown pattern {!r}".format(pattern))
 
     def source_for(self, endpoint_index):
-        rng = self._rng(endpoint_index)
-        partner = self.mapping[endpoint_index]
-
-        def source(cycle):
-            if rng.random() >= self.rate or partner == endpoint_index:
-                return None
-            return self._message(rng, partner)
-
-        return source
+        return _PartnerSource(
+            self,
+            self._rng(endpoint_index),
+            endpoint_index,
+            self.mapping[endpoint_index],
+        )
 
 
 class _TraceSource:

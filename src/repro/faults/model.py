@@ -19,9 +19,14 @@ Each descriptor here knows how to ``apply`` itself to a live
 ``revert``).  Scheduling is the injector's job.
 
 Every fault is picklable *by construction*: descriptors store only
-plain data (keys, seeds, parameters) and derive any RNG or resolved
-channel lazily, so fault scenarios can ride a
+plain data (keys, seeds, parameters) and derive any resolved channel
+lazily, so fault scenarios can ride a
 :class:`~repro.harness.parallel.TrialSpec` into worker processes.
+Live RNG and duty-cycle state *does* ride along — a pickled
+mid-outage :class:`TransientFault` resumes with exactly the remaining
+schedule, which is what engine snapshots (:mod:`repro.sim.snapshot`)
+rely on.  A fresh descriptor has no RNG yet, so the worker-process
+path is unchanged.
 """
 
 import random
@@ -75,6 +80,9 @@ class _LinkFault(Fault):
     def _channel_name(self):
         if self.channel is not None:
             return self.channel.name
+        name = self.__dict__.get("_name_cache")
+        if name is not None:
+            return name
         if self.src_key is not None:
             return "{}->{}".format(self.src_key, self.dst_key)
         return "?"
@@ -82,6 +90,11 @@ class _LinkFault(Fault):
     def __getstate__(self):
         state = dict(self.__dict__)
         if state.get("src_key") is not None:
+            # Keep the human-readable wire name: describe() must render
+            # identically before and after a snapshot round-trip even
+            # while the channel cache is unresolved.
+            if state.get("channel") is not None:
+                state["_name_cache"] = state["channel"].name
             state["channel"] = None
         return state
 
@@ -177,11 +190,6 @@ class CorruptLink(_LinkFault):
         return "{}({}, p={})".format(
             self.kind, self._channel_name(), self.probability
         )
-
-    def __getstate__(self):
-        state = super().__getstate__()
-        state["_rng_obj"] = None
-        return state
 
 
 class DeadRouter(Fault):
@@ -341,11 +349,6 @@ class TransientFault(Fault):
             return self.start
         return self._next_change
 
-    def __getstate__(self):
-        state = dict(self.__dict__)
-        state["_rng_obj"] = None
-        return state
-
 
 class FlakyLink(TransientFault):
     """A wire that intermittently goes dead (marginal connector)."""
@@ -389,18 +392,25 @@ class FlakyLink(TransientFault):
         network.engine.wake(channel)
 
     def describe(self):
-        name = (
-            self.channel.name
-            if self.channel is not None
-            else "{}->{}".format(self.src_key, self.dst_key)
-        )
+        if self.channel is not None:
+            name = self.channel.name
+        else:
+            name = self.__dict__.get("_name_cache") or "{}->{}".format(
+                self.src_key, self.dst_key
+            )
         return "{}({}, mtbf={}, mttr={})".format(
             self.kind, name, self.mtbf, self.mttr
         )
 
     def __getstate__(self):
-        state = super().__getstate__()
+        # Mirror _LinkFault: the resolved channel is a cache only and
+        # re-resolves against whichever network the clone is applied
+        # to (for a snapshot, the restored one); the rendered wire
+        # name is kept so describe() is stable across the round-trip.
+        state = dict(self.__dict__)
         if state.get("src_key") is not None:
+            if state.get("channel") is not None:
+                state["_name_cache"] = state["channel"].name
             state["channel"] = None
         return state
 

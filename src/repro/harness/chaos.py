@@ -15,8 +15,18 @@ Soaks are deterministic: every random choice derives from the trial
 seed, so a soak is a pure function of its parameters and serial ==
 parallel execution byte-identically (the
 :class:`~repro.harness.parallel.TrialRunner` contract).
+
+Long soaks can checkpoint themselves: ``snapshot_every=K`` writes an
+engine snapshot (:mod:`repro.sim.snapshot`) every ``K`` windows into a
+small on-disk ring, and :func:`resume_chaos_point` (CLI: ``repro
+chaos --resume``) picks up the newest intact checkpoint after a crash
+or host restart and finishes the soak — producing the *same*
+:class:`ChaosResult` an uninterrupted run would have, because the
+result is a pure function of the final message log and fault
+histories, all of which ride the snapshot.
 """
 
+import os
 import random
 
 from repro.core.random_source import derive_seed
@@ -188,6 +198,9 @@ def run_chaos_point(
     metrics=False,
     oracle=False,
     backend="reference",
+    snapshot_every=None,
+    snapshot_dir=None,
+    snapshot_keep=3,
 ):
     """One chaos soak: seeded transient + hard faults, optional healing.
 
@@ -205,6 +218,14 @@ def run_chaos_point(
     Endpoints verify stage checksums (the manager's best evidence) and
     run a finite ``max_attempts`` so unreachable destinations surface
     as ``undeliverable`` instead of infinite retry.
+
+    ``snapshot_every=K`` (with ``snapshot_dir``) checkpoints the live
+    network every ``K`` completed windows into a ring of at most
+    ``snapshot_keep`` files, so a crashed soak resumes from its newest
+    intact checkpoint via :func:`resume_chaos_point`.  Checkpointing
+    never changes the result: snapshot capture does not perturb the
+    live graph, and run-boundary placement is proven transparent by
+    :mod:`repro.verify.resume_diff`.
     """
     if fault_start is None:
         fault_start = warmup_windows * window_cycles
@@ -276,11 +297,66 @@ def run_chaos_point(
         seed=seed + 1,
     ).attach(network)
 
-    target = n_windows * window_cycles
-    while network.engine.cycle < target:
-        network.run(target - network.engine.cycle)
+    meta = {
+        "seed": seed,
+        "self_heal": self_heal,
+        "n_windows": n_windows,
+        "window_cycles": window_cycles,
+        "warmup_windows": warmup_windows,
+        "fault_start": fault_start,
+        "slo_fraction": slo_fraction,
+        "snapshot_every": snapshot_every,
+        "snapshot_keep": snapshot_keep,
+    }
+    return _finish_soak(
+        network,
+        injector,
+        manager,
+        watcher,
+        telemetry,
+        meta,
+        snapshot_dir=snapshot_dir,
+    )
+
+
+def _finish_soak(
+    network, injector, manager, watcher, telemetry, meta, snapshot_dir=None
+):
+    """Run a (possibly resumed) soak to completion and score it.
+
+    The loop and scoring are shared between :func:`run_chaos_point`
+    and :func:`resume_chaos_point`: scoring is a pure function of the
+    final message log and fault histories, so a resumed soak produces
+    exactly the uninterrupted soak's :class:`ChaosResult`.
+    """
+    window_cycles = meta["window_cycles"]
+    snapshot_every = meta.get("snapshot_every")
+    engine = network.engine
+    target = meta["n_windows"] * window_cycles
+    span = None
+    next_snap = None
+    if snapshot_every:
+        if snapshot_dir is None:
+            raise ValueError("snapshot_every requires snapshot_dir")
+        span = snapshot_every * window_cycles
+        next_snap = (engine.cycle // span + 1) * span
+    while engine.cycle < target:
+        stop = target if next_snap is None else min(target, next_snap)
+        network.run(stop - engine.cycle)
         if manager is not None and manager.repairs_due():
             manager.service()
+        if next_snap is not None and engine.cycle >= next_snap:
+            if engine.cycle < target:
+                _write_ring_snapshot(
+                    network,
+                    injector,
+                    manager,
+                    watcher,
+                    telemetry,
+                    meta,
+                    snapshot_dir,
+                )
+            next_snap = (engine.cycle // span + 1) * span
 
     from repro.endpoint import messages as M
 
@@ -289,17 +365,19 @@ def run_chaos_point(
         if message.outcome == M.DELIVERED:
             window = message.done_cycle // window_cycles
             counts[window] = counts.get(window, 0) + 1
-    n_complete = network.engine.cycle // window_cycles
+    n_complete = engine.cycle // window_cycles
     windows = [counts.get(i, 0) for i in range(n_complete)]
 
+    seed = meta["seed"]
+    self_heal = meta["self_heal"]
     result = ChaosResult(
         label="seed={} heal={}".format(seed, "on" if self_heal else "off"),
         seed=seed,
         self_heal=self_heal,
         window_cycles=window_cycles,
-        warmup_windows=warmup_windows,
-        fault_start=fault_start,
-        slo_fraction=slo_fraction,
+        warmup_windows=meta["warmup_windows"],
+        fault_start=meta["fault_start"],
+        slo_fraction=meta["slo_fraction"],
         windows=windows,
         undeliverable=len(network.log.abandoned()),
         attempt_failures=network.log.attempt_failures,
@@ -326,6 +404,118 @@ def run_chaos_point(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Crash-safe checkpointing (the snapshot ring)
+# ---------------------------------------------------------------------------
+
+_RING_PREFIX = "chaos-"
+_RING_SUFFIX = ".snap"
+
+
+def _ring_files(snapshot_dir):
+    """Ring entries as ``(cycle, path)``, oldest first."""
+    entries = []
+    try:
+        names = os.listdir(snapshot_dir)
+    except OSError:
+        return entries
+    for name in names:
+        if not (name.startswith(_RING_PREFIX) and name.endswith(_RING_SUFFIX)):
+            continue
+        stem = name[len(_RING_PREFIX):-len(_RING_SUFFIX)]
+        try:
+            cycle = int(stem)
+        except ValueError:
+            continue
+        entries.append((cycle, os.path.join(snapshot_dir, name)))
+    entries.sort()
+    return entries
+
+
+def _write_ring_snapshot(
+    network, injector, manager, watcher, telemetry, meta, snapshot_dir
+):
+    """Checkpoint the live soak; prune the ring to ``snapshot_keep``."""
+    from repro.sim.snapshot import snapshot_network
+
+    os.makedirs(snapshot_dir, exist_ok=True)
+    snap = snapshot_network(
+        network,
+        extras={
+            "injector": injector,
+            "manager": manager,
+            "watcher": watcher,
+            "telemetry": telemetry,
+        },
+        meta=dict(meta),
+    )
+    path = os.path.join(
+        snapshot_dir,
+        "{}{:012d}{}".format(_RING_PREFIX, network.engine.cycle, _RING_SUFFIX),
+    )
+    # Write-then-rename so a crash mid-write never corrupts the newest
+    # ring entry a resume would pick.
+    tmp = path + ".tmp"
+    snap.save(tmp)
+    os.replace(tmp, path)
+    keep = meta.get("snapshot_keep") or 1
+    entries = _ring_files(snapshot_dir)
+    for _cycle, old in entries[:-keep]:
+        try:
+            os.remove(old)
+        except OSError:
+            pass
+    return path
+
+
+def resume_chaos_point(snapshot_dir, backend=None):
+    """Finish a soak from its newest intact ring checkpoint.
+
+    Walks the ring newest-first, skipping entries that are corrupt or
+    from an incompatible snapshot format (:class:`~repro.sim.snapshot
+    .SnapshotFormatError` — a *loud* failure when no entry is usable).
+    The returned :class:`ChaosResult` is byte-identical to what the
+    uninterrupted soak would have produced.
+
+    :param backend: engine backend to resume under; None keeps the
+        backend the soak was checkpointed under (snapshots are
+        backend-portable, so switching is allowed).
+    """
+    from repro.sim.snapshot import Snapshot, SnapshotFormatError, restore_network
+
+    entries = _ring_files(snapshot_dir)
+    if not entries:
+        raise FileNotFoundError(
+            "no chaos snapshots found in {!r}".format(snapshot_dir)
+        )
+    errors = []
+    for cycle, path in reversed(entries):
+        try:
+            snap = Snapshot.load(path)
+            restored = restore_network(snap, backend=backend)
+        except SnapshotFormatError as error:
+            errors.append(str(error))
+            continue
+        except Exception as error:  # corrupt tail entry: fall back
+            errors.append("{}: {}".format(path, error))
+            continue
+        extras = restored.extras
+        return _finish_soak(
+            restored.network,
+            extras["injector"],
+            extras["manager"],
+            extras["watcher"],
+            extras["telemetry"],
+            snap.meta,
+            snapshot_dir=snapshot_dir,
+        )
+    raise SnapshotFormatError(
+        "no usable chaos snapshot in {!r}:\n  {}".format(
+            snapshot_dir, "\n  ".join(errors)
+        )
+    )
+
+
 def chaos_trial_specs(
     seeds=4,
     seed=0,
@@ -337,14 +527,27 @@ def chaos_trial_specs(
     The seed path is ``("chaos", index, heal)`` so a soak's randomness
     is unchanged when more soaks or the other healing mode are added.
     ``self_heal=(True, False)`` produces the paired ON/OFF experiment.
+
+    When checkpointing (``snapshot_dir`` in ``kwargs``), each soak
+    gets its own ring subdirectory (``soak<i>-heal<on|off>/``) so
+    concurrent soaks never clobber each other's checkpoints; resume a
+    specific soak by pointing :func:`resume_chaos_point` at its
+    subdirectory.
     """
+    snapshot_dir = kwargs.pop("snapshot_dir", None)
     specs = []
     for index in range(seeds):
         for heal in self_heal:
+            params = dict(self_heal=heal, **kwargs)
+            if snapshot_dir is not None:
+                params["snapshot_dir"] = os.path.join(
+                    snapshot_dir,
+                    "soak{}-heal{}".format(index, "on" if heal else "off"),
+                )
             specs.append(
                 TrialSpec(
                     runner="repro.harness.chaos:run_chaos_point",
-                    params=dict(self_heal=heal, **kwargs),
+                    params=params,
                     seed=derive_seed(seed, "chaos", index, heal),
                     label="chaos[{}] heal={}".format(
                         index, "on" if heal else "off"

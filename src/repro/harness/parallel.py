@@ -58,11 +58,13 @@ class TrialTimeoutError(RuntimeError):
 def _canonicalize(value, opaque):
     """A JSON-able canonical form of ``value`` for content hashing.
 
-    Callables and classes are named by ``module:qualname``; anything
-    without a stable importable identity (lambdas, closures, instances
-    of arbitrary classes) is rendered opaquely and flips ``opaque[0]``
-    so the spec is marked uncacheable rather than cached under an
-    ambiguous key.
+    Callables and classes are named by ``module:qualname``; an object
+    exposing a ``cache_token()`` method (e.g. a
+    :class:`~repro.sim.snapshot.Snapshot`, whose token is its content
+    hash) is keyed by that token; anything else without a stable
+    importable identity (lambdas, closures, instances of arbitrary
+    classes) is rendered opaquely and flips ``opaque[0]`` so the spec
+    is marked uncacheable rather than cached under an ambiguous key.
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
@@ -75,6 +77,10 @@ def _canonicalize(value, opaque):
             [_canonicalize(k, opaque), _canonicalize(v, opaque)]
             for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
         ]
+    if not isinstance(value, type):
+        token = getattr(value, "cache_token", None)
+        if callable(token):
+            return "token:{}".format(token())
     if callable(value):
         module = getattr(value, "__module__", None)
         qualname = getattr(value, "__qualname__", None)

@@ -14,11 +14,22 @@ the two-phase simulation engine that models that clock:
 * :class:`~repro.sim.engine.Engine` — steps all components, then
   advances all channels, so evaluation order never matters.
 * :class:`~repro.sim.trace.Trace` — optional event recording.
+* :mod:`repro.sim.snapshot` — versioned capture/restore of live engine
+  state (checkpointing, warm starts, crash-safe soaks).
 """
 
 from repro.sim.channel import Channel, ChannelEnd
 from repro.sim.component import Component
 from repro.sim.engine import Engine
+from repro.sim.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    Snapshot,
+    SnapshotFormatError,
+    restore_engine,
+    restore_network,
+    snapshot_engine,
+    snapshot_network,
+)
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
@@ -26,6 +37,13 @@ __all__ = [
     "ChannelEnd",
     "Component",
     "Engine",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Snapshot",
+    "SnapshotFormatError",
     "Trace",
     "TraceEvent",
+    "restore_engine",
+    "restore_network",
+    "snapshot_engine",
+    "snapshot_network",
 ]

@@ -82,6 +82,39 @@ class EventEngine(Engine):
         self.compressed_cycles = 0
 
     # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    #: Everything _prepare() rebuilds from scratch at the next run;
+    #: dropping it keeps snapshots free of bound-to-this-engine hooks
+    #: and makes restore a plain "re-prepare on first step".
+    _TRANSIENT_ATTRS = (
+        "_states",
+        "_woken",
+        "_hot",
+        "_adjacent",
+        "_attached",
+        "_ticked",
+    )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in self._TRANSIENT_ATTRS:
+            state.pop(name, None)
+        state["_prepared"] = False
+        state["_compressible"] = False
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._states = {}
+        self._woken = set()
+        self._hot = set()
+        self._adjacent = {}
+        self._attached = {}
+        self._ticked = []
+
+    # ------------------------------------------------------------------
     # Registration (invalidates the prepared maps)
     # ------------------------------------------------------------------
 

@@ -125,6 +125,23 @@ class Channel:
         #: pass so its advance loop avoids repeated attribute chains.
         self._ev_rec = None
 
+    #: Engine-installed acceleration state, rebuilt by the event
+    #: backend's prepare pass; never part of a snapshot.
+    _TRANSIENT_SLOTS = ("hot_hook", "_ev_rec")
+
+    def __getstate__(self):
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._TRANSIENT_SLOTS
+        }
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.hot_hook = None
+        self._ev_rec = None
+
     @property
     def a(self):
         """The upstream end of this channel."""

@@ -108,6 +108,19 @@ class Engine:
         """Remove any cycle deadline."""
         self.deadline = None
 
+    def snapshot(self, extras=None, meta=None):
+        """Capture this engine's full state as a picklable Snapshot.
+
+        Everything registered with the engine — components, observers,
+        channels, pre-cycle hooks — rides along, as do the guard states
+        (:meth:`stop` requests and :meth:`set_deadline` deadlines), so
+        a restored engine resumes exactly where this one stands.  The
+        live engine is not perturbed.  See :mod:`repro.sim.snapshot`.
+        """
+        from repro.sim.snapshot import snapshot_engine
+
+        return snapshot_engine(self, extras=extras, meta=meta)
+
     def wake(self, obj):
         """Nudge a component or channel that was mutated out-of-band.
 

@@ -42,5 +42,15 @@ class NullTelemetry:
     def __repr__(self):
         return "<NullTelemetry>"
 
+    def __reduce__(self):
+        # Pickle to the singleton, so components restored from an
+        # engine snapshot share NULL_TELEMETRY instead of each holding
+        # a private copy.
+        return (_null_telemetry, ())
+
+
+def _null_telemetry():
+    return NULL_TELEMETRY
+
 
 NULL_TELEMETRY = NullTelemetry()

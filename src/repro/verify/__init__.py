@@ -13,6 +13,14 @@ protocol (paper, Sections 4-5):
 * :mod:`repro.verify.shrink` — delta debugging for failing scenarios:
   reduces a failing configuration or message plan to a minimal
   reproduction worth committing to the test suite.
+
+Two differential proof harnesses build on those checks:
+
+* :mod:`repro.verify.backend_diff` — byte-identical equivalence
+  between the dense reference engine and the event-driven backend.
+* :mod:`repro.verify.resume_diff` — byte-identical transparency of
+  engine snapshot/restore (:mod:`repro.sim.snapshot`), including
+  cross-backend restores, over the same workload families.
 """
 
 from repro.verify.oracle import (
@@ -23,12 +31,22 @@ from repro.verify.oracle import (
     attach_cascade_oracle,
     attach_oracle,
 )
+from repro.verify.resume_diff import (
+    ResumeReport,
+    resume_failures,
+    resume_point,
+    resume_sweep,
+)
 
 __all__ = [
     "CascadeOracle",
     "Oracle",
     "OracleViolationError",
+    "ResumeReport",
     "Violation",
     "attach_cascade_oracle",
     "attach_oracle",
+    "resume_failures",
+    "resume_point",
+    "resume_sweep",
 ]

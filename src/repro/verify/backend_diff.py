@@ -154,7 +154,16 @@ def _traffic_for(rng, network, seed):
     )
 
 
-def _run_traffic(seed, backend, cycles, with_faults):
+def _build_traffic(seed, backend, cycles, with_faults):
+    """Build the traffic-family workload: a figure-1 network with a
+    metrics hub bound, seeded traffic attached, and (optionally) the
+    full static/scheduled/reverted/transient fault mix installed.
+
+    Returns ``(network, telemetry, injector)`` (injector None without
+    faults).  Shared by the backend diff and the resume diff
+    (:mod:`repro.verify.resume_diff`), which snapshots the same
+    workload mid-run.
+    """
     from repro.harness.load_sweep import figure1_network
     from repro.telemetry import TelemetryHub
 
@@ -206,6 +215,26 @@ def _run_traffic(seed, backend, cycles, with_faults):
             injector.transient(fault)
         applied = injector
     traffic.attach(network)
+    return network, telemetry, applied
+
+
+def _traffic_fingerprint(network, telemetry, injector):
+    """Everything observable about a traffic-family run so far."""
+    fingerprint = message_fingerprint(network.log)
+    fingerprint["cycle"] = network.engine.cycle
+    fingerprint["metrics"] = telemetry.snapshot().as_dict()
+    if injector is not None:
+        fingerprint["applied"] = [
+            (entry.cycle, entry.fault.describe(), entry.scheduled, entry.action)
+            for entry in injector.applied
+        ]
+    return fingerprint
+
+
+def _run_traffic(seed, backend, cycles, with_faults):
+    network, telemetry, injector = _build_traffic(
+        seed, backend, cycles, with_faults
+    )
     # Several run() calls rather than one: run boundaries are where an
     # event-driven backend re-prepares, so they must also be
     # transparent.
@@ -214,15 +243,7 @@ def _run_traffic(seed, backend, cycles, with_faults):
         span = min(remaining, max(1, cycles // 3))
         network.run(span)
         remaining -= span
-    fingerprint = message_fingerprint(network.log)
-    fingerprint["cycle"] = network.engine.cycle
-    fingerprint["metrics"] = telemetry.snapshot().as_dict()
-    if applied is not None:
-        fingerprint["applied"] = [
-            (entry.cycle, entry.fault.describe(), entry.scheduled, entry.action)
-            for entry in applied.applied
-        ]
-    return fingerprint
+    return _traffic_fingerprint(network, telemetry, injector)
 
 
 def _diff_traffic(seed, backend, with_faults=False):

@@ -140,6 +140,37 @@ class Oracle(Component):
         self._half_duplex_seen = {id(ch): 0 for ch in self.channels}
 
     # ------------------------------------------------------------------
+    # Pickling (snapshot support)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        # ``id()`` keys are process-local: carry the identity-keyed
+        # maps positionally (half-duplex counts follow ``channels``
+        # order; each track already holds its connection) and re-key
+        # them against the restored objects, so an oracle riding an
+        # engine snapshot keeps its mid-circuit shadow state instead of
+        # silently resetting it.
+        state = dict(self.__dict__)
+        state["_half_duplex_seen"] = [
+            self._half_duplex_seen.get(id(ch), 0) for ch in self.channels
+        ]
+        state["_tracks"] = [
+            (key[0], track) for key, track in self._tracks.items()
+        ]
+        return state
+
+    def __setstate__(self, state):
+        half = state.pop("_half_duplex_seen")
+        tracks = state.pop("_tracks")
+        self.__dict__.update(state)
+        self._half_duplex_seen = {
+            id(ch): seen for ch, seen in zip(self.channels, half)
+        }
+        self._tracks = {
+            (name, id(track.conn)): track for name, track in tracks
+        }
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 

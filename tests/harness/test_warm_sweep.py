@@ -1,0 +1,157 @@
+"""Warm-started fault sweeps: one shared warmup snapshot feeds every
+fault level, reproducing a cold inject-after-warmup sweep exactly
+while skipping the warmup cycles."""
+
+import pickle
+
+import pytest
+
+from repro.harness.fault_sweep import (
+    fault_trial_specs,
+    make_warm_snapshot,
+    run_fault_point,
+)
+from repro.harness.load_sweep import figure1_network
+
+_LEVELS = ((0, 0), (2, 0), (1, 1))
+_KW = dict(
+    rate=0.02,
+    seed=3,
+    message_words=8,
+    warmup_cycles=400,
+    network_factory=figure1_network,
+)
+
+
+def _warm(**overrides):
+    kw = dict(_KW)
+    kw.update(overrides)
+    return make_warm_snapshot(**kw)
+
+
+def _point(**overrides):
+    kw = dict(_KW, measure_cycles=800)
+    kw.update(overrides)
+    return run_fault_point(**kw)
+
+
+def _result_fingerprint(result):
+    return {
+        "delivered": result.delivered_count,
+        "abandoned": result.abandoned_count,
+        "latencies": list(result._latencies),
+        "attempts": list(result._attempts),
+        "queueing": list(result._queueing),
+        "sources": list(result._sources),
+        "attempt_failures": dict(result.attempt_failures),
+        "undeliverable": result.undeliverable,
+        "metrics": result.metrics,
+    }
+
+
+def test_warm_start_reproduces_cold_sweep_exactly():
+    warm = _warm()
+    for links, routers in _LEVELS:
+        cold = _point(
+            n_dead_links=links,
+            n_dead_routers=routers,
+            inject_after_warmup=True,
+        )
+        warm_result = _point(
+            n_dead_links=links, n_dead_routers=routers, warm_snapshot=warm
+        )
+        assert _result_fingerprint(warm_result) == _result_fingerprint(cold)
+
+
+def test_warm_start_survives_pickling_and_backend_change():
+    # The capture crosses a process boundary (worker hand-off) and is
+    # restored under the event-driven engine: still byte-identical.
+    warm = pickle.loads(pickle.dumps(_warm()))
+    cold = _point(n_dead_links=2, inject_after_warmup=True)
+    warm_result = _point(n_dead_links=2, warm_snapshot=warm, backend="events")
+    assert _result_fingerprint(warm_result) == _result_fingerprint(cold)
+
+
+def test_warm_start_with_metrics_matches_cold_metrics():
+    warm = _warm(metrics=True)
+    cold = _point(n_dead_links=1, inject_after_warmup=True, metrics=True)
+    warm_result = _point(n_dead_links=1, warm_snapshot=warm, metrics=True)
+    assert cold.metrics is not None
+    assert warm_result.metrics == cold.metrics
+    assert _result_fingerprint(warm_result) == _result_fingerprint(cold)
+
+
+def test_mismatched_warm_snapshot_is_refused():
+    warm = _warm()
+    with pytest.raises(ValueError) as excinfo:
+        _point(n_dead_links=1, warm_snapshot=warm, rate=0.08)
+    message = str(excinfo.value)
+    assert "rate" in message and "0.08" in message
+    # A snapshot that is not a fault-sweep warm start at all is also
+    # rejected, by kind, before any parameter comparison.
+    network = figure1_network(seed=1)
+    stranger = network.engine.snapshot(extras={"network": network})
+    with pytest.raises(ValueError) as excinfo:
+        _point(n_dead_links=1, warm_snapshot=stranger)
+    assert "fault-sweep warm start" in str(excinfo.value)
+
+
+def test_warm_specs_are_cacheable_and_content_keyed():
+    warm = _warm()
+    specs = fault_trial_specs(
+        fault_levels=_LEVELS, warm_snapshot=warm, **_KW
+    )
+    assert all(spec.cacheable() for spec in specs)
+    prints = [spec.fingerprint(code_version="x") for spec in specs]
+    # The snapshot enters the key by content hash: a pickled copy keys
+    # identically, a different warmup invalidates every level.
+    copied = pickle.loads(pickle.dumps(warm))
+    assert [
+        spec.fingerprint(code_version="x")
+        for spec in fault_trial_specs(
+            fault_levels=_LEVELS, warm_snapshot=copied, **_KW
+        )
+    ] == prints
+    other = _warm(warmup_cycles=500)
+    other_prints = [
+        spec.fingerprint(code_version="x")
+        for spec in fault_trial_specs(
+            fault_levels=_LEVELS,
+            warm_snapshot=other,
+            **dict(_KW, warmup_cycles=500)
+        )
+    ]
+    assert not set(prints) & set(other_prints)
+
+
+def test_warm_and_cold_shared_warmup_specs_share_the_seed_split():
+    # Shared-warmup specs (warm or cold) carry the level's randomness
+    # in fault_seed and the workload's in the spec seed, so a warm
+    # sweep is comparable level-for-level with a cold one.
+    warm = _warm()
+    warm_specs = fault_trial_specs(
+        fault_levels=_LEVELS, warm_snapshot=warm, **_KW
+    )
+    cold_specs = fault_trial_specs(
+        fault_levels=_LEVELS, inject_after_warmup=True, **_KW
+    )
+    for warm_spec, cold_spec in zip(warm_specs, cold_specs):
+        assert warm_spec.seed == cold_spec.seed == _KW["seed"]
+        assert (
+            warm_spec.params["fault_seed"] == cold_spec.params["fault_seed"]
+        )
+        assert warm_spec.params["inject_after_warmup"]
+        assert cold_spec.params["inject_after_warmup"]
+        assert "warm_snapshot" not in cold_spec.params
+
+
+def test_legacy_specs_are_unchanged():
+    # Without shared warmup the historical cache identity holds: the
+    # per-level derived seed is the whole trial seed and no new params
+    # appear — pre-existing sweep caches stay valid.
+    specs = fault_trial_specs(fault_levels=_LEVELS, rate=0.02, seed=3)
+    assert len({spec.seed for spec in specs}) == len(_LEVELS)
+    for spec in specs:
+        assert "inject_after_warmup" not in spec.params
+        assert "fault_seed" not in spec.params
+        assert "warm_snapshot" not in spec.params

@@ -1,0 +1,258 @@
+"""Engine snapshot/restore: capture API, guard round-trips, the
+format-version gate, and in-place backend transmutes."""
+
+import pickle
+
+import pytest
+
+from repro.endpoint.messages import Message
+from repro.sim import (
+    SNAPSHOT_FORMAT_VERSION,
+    Snapshot,
+    SnapshotFormatError,
+    restore_engine,
+    restore_network,
+    snapshot_network,
+)
+from repro.sim.backends import BACKENDS, EventEngine
+from repro.sim.engine import Engine, EngineDeadlineError
+from repro.sim.snapshot import MAGIC
+from repro.verify.scenario import Scenario
+
+
+def _network(backend="reference", messages=((0, 1, (3, 1, 2)),)):
+    scenario = Scenario(
+        radix=2,
+        n_stages=2,
+        seed=5,
+        messages=[
+            {"src": s, "dest": d, "payload": list(p)} for s, d, p in messages
+        ],
+    )
+    network = scenario.build(backend=backend)
+    for m in scenario.messages:
+        network.send(m["src"], Message(dest=m["dest"], payload=m["payload"]))
+    return network
+
+
+def _roundtrip(snap):
+    return pickle.loads(pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class _Brake:
+    """A picklable pre-cycle hook that stops the engine at a cycle."""
+
+    def __init__(self, at):
+        self.at = at
+
+    def __call__(self, engine):
+        if engine.cycle >= self.at:
+            engine.stop()
+
+
+class TestSnapshotBasics:
+    def test_snapshot_records_backend_cycle_and_version(self):
+        network = _network()
+        network.run(4)
+        snap = network.engine.snapshot(meta={"note": "t"})
+        assert snap.version == SNAPSHOT_FORMAT_VERSION
+        assert snap.backend == "reference"
+        assert snap.cycle == 4
+        assert snap.meta == {"note": "t"}
+        assert "Snapshot v{}".format(snap.version) in repr(snap)
+
+    def test_restored_network_continues_like_the_original(self):
+        network = _network()
+        network.run(3)
+        snap = _roundtrip(snapshot_network(network))
+        restored = restore_network(snap).network
+        assert restored.engine.cycle == 3
+        network.run_until_quiet()
+        restored.run_until_quiet()
+        assert [m.outcome for m in network.log.messages] == [
+            m.outcome for m in restored.log.messages
+        ]
+        assert [m.done_cycle for m in network.log.messages] == [
+            m.done_cycle for m in restored.log.messages
+        ]
+
+    def test_capture_does_not_perturb_the_live_engine(self):
+        solo = _network()
+        solo.run_until_quiet()
+        observed = _network()
+        observed.run(2)
+        snapshot_network(observed)
+        observed.run_until_quiet()
+        assert [m.done_cycle for m in solo.log.messages] == [
+            m.done_cycle for m in observed.log.messages
+        ]
+
+    def test_restore_network_rejects_engine_level_snapshot(self):
+        network = _network()
+        snap = network.engine.snapshot()
+        with pytest.raises(ValueError) as excinfo:
+            restore_network(snap)
+        assert "restore_engine" in str(excinfo.value)
+
+
+class TestGuardRoundTrip:
+    """Engine.stop() / set_deadline() state rides the snapshot."""
+
+    def test_deadline_round_trips_and_still_fires(self):
+        network = _network()
+        network.engine.set_deadline(6)
+        network.run(2)
+        snap = _roundtrip(snapshot_network(network))
+        engine = restore_network(snap).engine
+        assert engine.deadline == 6
+        engine.run(4)  # cycles 2..5 step fine, landing on cycle 6
+        assert engine.cycle == 6
+        with pytest.raises(EngineDeadlineError):
+            engine.step()  # at the deadline: refuses, loudly
+        # The original is equally bounded — shared-fate, not aliasing.
+        with pytest.raises(EngineDeadlineError):
+            network.run(10)
+
+    def test_cleared_deadline_round_trips_as_cleared(self):
+        network = _network()
+        network.engine.set_deadline(50)
+        network.engine.clear_deadline()
+        engine = restore_network(
+            _roundtrip(snapshot_network(network))
+        ).engine
+        assert engine.deadline is None
+        engine.run(60)  # well past the cleared deadline
+
+    def test_stop_request_round_trips(self):
+        network = _network()
+        network.engine.stop()
+        assert network.engine._stop_requested
+        engine = restore_network(
+            _roundtrip(snapshot_network(network))
+        ).engine
+        assert engine._stop_requested
+        # Semantics preserved too: run() consumes the request on entry,
+        # exactly as on a live engine.
+        engine.run(2)
+        assert engine.cycle == 2
+        assert not engine._stop_requested
+
+    def test_mid_run_stop_state_round_trips(self):
+        # A stop raised *during* a run breaks the loop; a snapshot
+        # taken right after must carry the consumed-request state so a
+        # resumed run() behaves identically.
+        network = _network()
+        network.engine.add_pre_cycle_hook(_Brake(network.engine.cycle + 2))
+        network.run(10)
+        stopped_at = network.engine.cycle
+        engine = restore_network(
+            _roundtrip(snapshot_network(network))
+        ).engine
+        assert engine.cycle == stopped_at
+        assert engine._stop_requested == network.engine._stop_requested
+
+
+class TestFormatGate:
+    def test_save_load_round_trip(self, tmp_path):
+        network = _network()
+        network.run(2)
+        snap = snapshot_network(network, meta={"trial": 9})
+        path = tmp_path / "state.snap"
+        snap.save(path)
+        loaded = Snapshot.load(path)
+        assert loaded.version == snap.version
+        assert loaded.backend == snap.backend
+        assert loaded.cycle == snap.cycle
+        assert loaded.meta == {"trial": 9}
+        assert loaded.blob == snap.blob
+        assert loaded.content_hash == snap.content_hash
+
+    def test_bad_magic_fails_loudly(self, tmp_path):
+        path = tmp_path / "not.snap"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(SnapshotFormatError) as excinfo:
+            Snapshot.load(path)
+        assert "bad magic" in str(excinfo.value)
+
+    def test_truncated_header_fails_loudly(self, tmp_path):
+        path = tmp_path / "trunc.snap"
+        path.write_bytes(MAGIC + b"\x00")
+        with pytest.raises(SnapshotFormatError):
+            Snapshot.load(path)
+
+    def test_version_drift_fails_before_unpickling(self, tmp_path):
+        network = _network()
+        snap = snapshot_network(network)
+        path = tmp_path / "old.snap"
+        snap.save(path)
+        data = bytearray(path.read_bytes())
+        # Stamp a future format version; the payload after the header
+        # is poisoned so any unpickling attempt would explode — the
+        # gate must reject on the version alone.
+        data[len(MAGIC): len(MAGIC) + 4] = (
+            SNAPSHOT_FORMAT_VERSION + 1
+        ).to_bytes(4, "big")
+        data[len(MAGIC) + 4:] = b"\x80\x05garbage"
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotFormatError) as excinfo:
+            Snapshot.load(path)
+        message = str(excinfo.value)
+        assert "v{}".format(SNAPSHOT_FORMAT_VERSION + 1) in message
+        assert "expected v{}".format(SNAPSHOT_FORMAT_VERSION) in message
+
+    def test_cache_token_is_content_addressed(self):
+        network = _network()
+        snap = snapshot_network(network)
+        token = snap.cache_token()
+        assert token.startswith("snapshot:sha256:")
+        assert _roundtrip(snap).cache_token() == token
+        network.run(2)
+        assert snapshot_network(network).cache_token() != token
+
+
+class TestBackendTransmute:
+    @pytest.mark.parametrize("capture", sorted(BACKENDS))
+    @pytest.mark.parametrize("target", sorted(BACKENDS))
+    def test_transmute_preserves_identity_and_trajectory(
+        self, capture, target
+    ):
+        reference = _network(backend=capture)
+        reference.run_until_quiet()
+
+        network = _network(backend=capture)
+        network.run(3)
+        snap = _roundtrip(snapshot_network(network))
+        assert snap.backend == capture
+        restored = restore_network(snap, backend=target).network
+        # The transmute is in place: everything in the restored graph
+        # still points at the one engine object.
+        assert type(restored.engine) is BACKENDS[target]
+        restored.run_until_quiet()
+        assert [m.done_cycle for m in reference.log.messages] == [
+            m.done_cycle for m in restored.log.messages
+        ]
+
+    def test_unknown_backend_is_rejected(self):
+        network = _network()
+        snap = snapshot_network(network)
+        with pytest.raises(ValueError) as excinfo:
+            restore_network(snap, backend="quantum")
+        assert "quantum" in str(excinfo.value)
+
+    def test_restore_engine_returns_the_engine(self):
+        network = _network()
+        network.run(2)
+        snap = _roundtrip(network.engine.snapshot())
+        engine = restore_engine(snap, backend="events")
+        assert isinstance(engine, EventEngine)
+        assert engine.cycle == 2
+        engine.run(5)
+        assert engine.cycle >= 2
+
+    def test_default_restore_keeps_capture_backend(self):
+        network = _network(backend="events")
+        snap = _roundtrip(snapshot_network(network))
+        assert snap.backend == "events"
+        restored = restore_network(snap).network
+        assert type(restored.engine) is BACKENDS["events"]
+        assert isinstance(restored.engine, Engine)

@@ -1,0 +1,178 @@
+"""Property test: snapshot -> pickle -> unpickle -> restore is the
+identity, for random scenarios on both backends — plus the awkward
+states (mid-repair-cascade fault management, scan-masked ports)."""
+
+import pickle
+
+import pytest
+
+from repro.sim.snapshot import restore_network, snapshot_network
+from repro.verify.backend_diff import message_fingerprint
+from repro.verify.resume_diff import _finish_scenario, _start_scenario
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def _roundtrip(snap):
+    return pickle.loads(pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    backend=st.sampled_from(["reference", "events"]),
+    restore_backend=st.sampled_from(["reference", "events"]),
+    split=st.integers(min_value=0, max_value=40),
+)
+def test_snapshot_pickle_restore_is_identity(
+    seed, backend, restore_backend, split
+):
+    from repro.verify.scenario import random_scenario
+
+    scenario = random_scenario(seed=seed, n_messages=2)
+
+    reference = _finish_scenario(*_start_scenario(scenario, backend))
+
+    network, oracle, sent = _start_scenario(scenario, backend)
+    network.run(split)
+    at_capture = message_fingerprint(network.log)
+    snap = _roundtrip(
+        snapshot_network(network, extras={"oracle": oracle, "sent": sent})
+    )
+    restored = restore_network(snap, backend=restore_backend)
+
+    # Identity at the capture point: same cycle, same observable log.
+    assert restored.network.engine.cycle == split
+    assert message_fingerprint(restored.network.log) == at_capture
+
+    # Identity under continuation: the restored half-run ends exactly
+    # where the uninterrupted run does — and so does the original,
+    # which the capture must not have perturbed.
+    resumed = _finish_scenario(
+        restored.network, restored.extras["oracle"], restored.extras["sent"]
+    )
+    assert resumed == reference
+    original = _finish_scenario(network, oracle, sent)
+    assert original == reference
+
+
+def _soak_pieces(backend):
+    """A small self-healing soak: dead router + flaky link + traffic."""
+    import random as _random
+
+    from repro.core.random_source import derive_seed
+    from repro.endpoint.traffic import UniformRandomTraffic
+    from repro.faults.injector import (
+        FaultInjector,
+        random_transient_scenario,
+    )
+    from repro.faults.manager import FaultManager
+    from repro.faults.model import DeadRouter
+    from repro.harness.load_sweep import figure1_network
+
+    seed = 23
+    network = figure1_network(
+        seed=seed,
+        endpoint_kwargs={"verify_stage_checksums": True, "max_attempts": 60},
+        backend=backend,
+    )
+    injector = FaultInjector(network)
+    rng = _random.Random(derive_seed(seed, "soak"))
+    middle = [k for k in network.router_grid if 0 < k[0] < 2]
+    rng.shuffle(middle)
+    stage, block, index = middle[0]
+    injector.at(200, DeadRouter(stage, block, index))
+    for fault in random_transient_scenario(
+        network, n_flaky_links=1, mtbf=500, mttr=200, seed=seed, start=200
+    ):
+        injector.transient(fault)
+    manager = FaultManager(network, rate_window=200)
+    UniformRandomTraffic(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=0.05,
+        message_words=12,
+        seed=seed + 1,
+    ).attach(network)
+    return network, manager
+
+
+def _manager_fingerprint(manager):
+    return {
+        "suspicion": dict(manager.suspicion),
+        "due": list(manager.due),
+        "masked": sorted(manager.masked),
+        "mask_events": list(manager.mask_events),
+        "repairs": list(manager.repairs),
+        "evidence_count": manager.evidence_count,
+        "cooldowns": dict(manager._cooldown_until),
+    }
+
+
+@pytest.mark.parametrize("backend", ["reference", "events"])
+def test_mid_cascade_fault_management_round_trips(backend):
+    """Snapshot between evidence accumulation and repair service — the
+    manager's suspicion/due/cooldown state mid-cascade must resume to
+    the same masks and repair records."""
+    reference_net, reference_mgr = _soak_pieces(backend)
+    network, manager = _soak_pieces(backend)
+
+    for net, mgr in ((reference_net, reference_mgr), (network, manager)):
+        # Run until a repair is pending but NOT yet serviced.  With
+        # auto_stop the engine halts on the cycle the repair becomes
+        # due, so both copies stop at the identical point.
+        for _ in range(40):
+            net.run(100)
+            if mgr.repairs_due():
+                break
+        assert mgr.repairs_due(), "soak never accumulated repair evidence"
+
+    snap = _roundtrip(snapshot_network(network, extras={"manager": manager}))
+    restored = restore_network(snap)
+    rmgr = restored.extras["manager"]
+    assert _manager_fingerprint(rmgr) == _manager_fingerprint(manager)
+    assert rmgr.suspicion, "expected live suspicion mid-cascade"
+
+    # Service the cascade and run on, on all three copies.
+    outcomes = []
+    for net, mgr in (
+        (reference_net, reference_mgr),
+        (network, manager),
+        (restored.network, rmgr),
+    ):
+        mgr.service()
+        net.run(600)
+        fp = _manager_fingerprint(mgr)
+        fp["log"] = message_fingerprint(net.log)
+        fp["cycle"] = net.engine.cycle
+        outcomes.append(fp)
+    assert outcomes[0] == outcomes[1], "capture perturbed the soak"
+    assert outcomes[0] == outcomes[2], "resumed cascade diverged"
+    assert outcomes[0]["repairs"], "cascade never produced a repair record"
+
+
+def test_masked_port_scan_state_round_trips():
+    """router.multitap (lambda-captured scan registers) is rebuilt on
+    restore with its dead-port set intact; masked router config rides
+    the snapshot verbatim."""
+    from repro.scan.controller import attach_scan
+    from repro.verify.scenario import Scenario
+
+    network = Scenario(radix=2, n_stages=2, seed=9).build()
+    router = next(iter(network.all_routers()))
+    multitap = attach_scan(router, sp=2)
+    multitap.kill_port(1)
+    router.config.port_enabled[0] = False  # a masked (repaired) port
+
+    snap = _roundtrip(snapshot_network(network))
+    restored = restore_network(snap).network
+    rrouter = next(
+        r for r in restored.all_routers() if r.name == router.name
+    )
+    assert rrouter.multitap is not None
+    assert rrouter.multitap.sp == multitap.sp
+    assert rrouter.multitap.dead_ports == {1}
+    assert rrouter.config.port_enabled[0] is False
+    # The rebuilt TAP is live: a surviving port still answers scans.
+    rrouter.multitap.step(0, tms=0)

@@ -1,0 +1,113 @@
+"""The deterministic-resume proof harness itself.
+
+The full acceptance matrix (every workload family crossed with every
+capture/restore backend pair) runs in CI and via
+``repro verify --resume-diff``; here a cross-backend trial per family
+keeps the proof wired into the default test run, plus unit coverage of
+the harness API (kind routing, spec derivation, failure filtering)."""
+
+import pytest
+
+from repro.verify.resume_diff import (
+    DEFAULT_PAIRS,
+    ResumeReport,
+    resume_diff_specs,
+    resume_failures,
+    resume_point,
+    resume_sweep,
+    run_resume_trial,
+)
+from repro.verify.backend_diff import DEFAULT_KINDS
+
+
+@pytest.mark.parametrize("kind", DEFAULT_KINDS)
+def test_one_cross_backend_resume_per_family(kind):
+    # The hardest direction per family: capture under one engine,
+    # restore under the other.
+    report = resume_point(
+        kind, seed=5, backend="reference", restore_backend="events"
+    )
+    assert report.ok, report.mismatches
+    assert report.kind == kind
+    assert report.restore_backend == "events"
+
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(ValueError) as excinfo:
+        resume_point("voltage", seed=0)
+    assert "voltage" in str(excinfo.value)
+    assert "scenario" in str(excinfo.value)
+
+
+def test_default_restore_backend_is_the_capture_backend():
+    report = resume_point("scenario", seed=3, backend="events")
+    assert report.ok, report.mismatches
+    assert report.backend == "events"
+    assert report.restore_backend == "events"
+
+
+def test_specs_cross_kinds_with_backend_pairs():
+    specs = resume_diff_specs(n_trials=16, seed=3)
+    combos = [
+        (
+            spec.params["kind"],
+            spec.params["backend"],
+            spec.params["restore_backend"],
+        )
+        for spec in specs
+    ]
+    # 16 trials tile the full 4x4 matrix: every family resumed under
+    # every capture/restore pair, each exactly once.
+    assert len(set(combos)) == 16
+    assert {(b, rb) for _, b, rb in combos} == set(DEFAULT_PAIRS)
+    assert combos[0] == ("scenario", "reference", "reference")
+    assert combos[4] == ("scenario", "events", "events")
+    # Seeds are pure functions of (root seed, index): extending a sweep
+    # never changes an existing trial's cache identity.
+    assert len({spec.seed for spec in specs}) == 16
+    prints = [spec.fingerprint(code_version="x") for spec in specs]
+    assert prints[:8] == [
+        spec.fingerprint(code_version="x")
+        for spec in resume_diff_specs(n_trials=8, seed=3)
+    ]
+    assert prints != [
+        spec.fingerprint(code_version="x")
+        for spec in resume_diff_specs(n_trials=16, seed=4)
+    ]
+
+
+def test_sweep_reports_and_failure_filter():
+    reports = resume_sweep(n_trials=2, seed=1)
+    assert len(reports) == 2
+    assert resume_failures(reports) == []
+    broken = ResumeReport(
+        kind="traffic",
+        seed=9,
+        backend="reference",
+        restore_backend="events",
+        ok=False,
+        mismatches=["resumed:cycle: 5 != 6"],
+    )
+    assert resume_failures(reports + [broken]) == [broken]
+
+
+def test_run_resume_trial_matches_resume_point():
+    assert run_resume_trial(
+        seed=11, kind="scenario", backend="events", restore_backend="reference"
+    ) == resume_point(
+        "scenario", 11, backend="events", restore_backend="reference"
+    )
+
+
+@pytest.mark.slow
+def test_acceptance_full_resume_matrix():
+    """The ISSUE acceptance bar: byte-identical resume across all four
+    workload families, on both backends and both cross-backend
+    directions — the full 4x4 (kind, capture, restore) matrix."""
+    reports = resume_sweep(n_trials=16, seed=0, workers=4)
+    assert len(reports) == 16
+    failures = resume_failures(reports)
+    assert not failures, [
+        (r.kind, r.seed, r.backend, r.restore_backend, r.mismatches[:2])
+        for r in failures
+    ]
