@@ -672,11 +672,12 @@ def build_parser():
     def add_backend(command):
         command.add_argument(
             "--backend",
-            choices=("reference", "events"),
+            choices=("reference", "events", "vector"),
             default="reference",
             help="engine backend: 'events' activity-gates idle "
-            "components for the same results faster at low load "
-            "(see docs/API.md)",
+            "components for the same results faster at low load; "
+            "'vector' adds a structure-of-arrays fast path for "
+            "saturated loads (see docs/API.md)",
         )
 
     fig3 = sub.add_parser("figure3", help="Figure 3 latency/load sweep")

@@ -68,6 +68,46 @@ ALL_MUTATIONS = frozenset(
     )
 )
 
+# -- Backend-layer mutations (vector engine) --------------------------------
+#
+# Seeded bugs in the vectorized engine's structure-of-arrays layer
+# (:mod:`repro.sim.vector`).  Where ALL_MUTATIONS breaks the METRO
+# *protocol* to prove the oracle is sensitive, these break the vector
+# backend's *array bookkeeping* to prove the backend equivalence prover
+# (:mod:`repro.verify.backend_diff`) and the oracle both notice when
+# the accelerated engine drifts from the reference semantics.
+
+#: Read head-of-pipeline word kinds one column early after the array
+#: roll, so the whole-array decision layer (idle-port gating, receive
+#: gating, arrival wakes) acts on stale wire state.
+VEC_ROLL_OFF_BY_ONE = "vector-roll-off-by-one"
+
+#: Encode staged STATUS words as empty in the kind matrix: the array
+#: occupancy undercounts, channels carrying only STATUS traffic are
+#: evicted from the hot set and the words stall in flight.
+VEC_DROP_STATUS_KIND = "vector-drop-status-kind"
+
+#: Never refresh a router's cached backward-port ownership mask after a
+#: full tick, so the fast path's BCB gate watches the wrong ports and
+#: misses fast-reclamation drops.
+VEC_STALE_OWNERSHIP = "vector-stale-ownership"
+
+#: Drop the arrival wake in the vectorized advance phase: parked
+#: components are never re-scheduled when a word reaches their ports.
+VEC_SKIP_WAKE = "vector-skip-wake"
+
+BACKEND_MUTATIONS = frozenset(
+    (
+        VEC_ROLL_OFF_BY_ONE,
+        VEC_DROP_STATUS_KIND,
+        VEC_STALE_OWNERSHIP,
+        VEC_SKIP_WAKE,
+    )
+)
+
+#: Every mutation :func:`activate` accepts (protocol + backend layer).
+KNOWN_MUTATIONS = ALL_MUTATIONS | BACKEND_MUTATIONS
+
 #: The active mutation set.  Falsy (empty) in production; the guards in
 #: router/allocator code check emptiness before doing a set lookup.
 ACTIVE = frozenset()
@@ -81,7 +121,7 @@ def enabled(name):
 def activate(*names):
     """Seed the named mutations (additive).  Tests only."""
     global ACTIVE
-    unknown = set(names) - ALL_MUTATIONS
+    unknown = set(names) - KNOWN_MUTATIONS
     if unknown:
         raise ValueError("unknown mutations: {}".format(sorted(unknown)))
     ACTIVE = ACTIVE | frozenset(names)

@@ -406,7 +406,9 @@ class EventEngine(Engine):
 
 
 #: Registered engine backends.  ``"reference"`` is the dense two-phase
-#: sweep; ``"events"`` the activity-gated event-driven engine.
+#: sweep; ``"events"`` the activity-gated event-driven engine;
+#: ``"vector"`` (registered below by :mod:`repro.sim.vector`) the
+#: structure-of-arrays engine for saturated loads.
 BACKENDS = {
     "reference": Engine,
     "events": EventEngine,
@@ -428,3 +430,10 @@ def make_engine(backend="reference"):
             )
         )
     return factory()
+
+
+# The vector backend registers itself into BACKENDS on import; pulling
+# it in here makes every entry point that knows this registry (CLI,
+# sweeps, snapshot transmute) see all three backends.  Import last:
+# repro.sim.vector imports EventEngine from this module.
+from repro.sim import vector as _vector  # noqa: E402,F401  isort:skip

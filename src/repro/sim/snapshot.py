@@ -19,15 +19,16 @@ Restoring is *proven* transparent, not assumed: the
 cycles equals running N/2, snapshotting, restoring and running the
 remaining N/2 — byte-identical message logs, latencies, retry counts
 and metrics — across the same workload families the backend
-equivalence proof covers, on both engine backends and across
+equivalence proof covers, on all three engine backends and across
 backend-switching restores.
 
 Snapshots are **backend-portable**: engine-installed acceleration
-state (activity maps, hot-channel sets, staging hooks) is shed at
-capture and rebuilt by the event backend's prepare pass at the first
-post-restore run, so a snapshot taken under the dense reference
-engine restores under the event-driven one and vice versa
-(``restore_engine(snap, backend="events")``).
+state (activity maps, hot-channel sets, staging hooks, the vector
+backend's structure-of-arrays mirror) is shed at capture and rebuilt
+by the restoring backend's prepare pass at the first post-restore
+run, so a snapshot taken under the dense reference engine restores
+under the event-driven or vectorized one and vice versa
+(``restore_engine(snap, backend="vector")``).
 
 Snapshots are **versioned**: :data:`SNAPSHOT_FORMAT_VERSION` is
 stamped into every capture and checked *before* any unpickling on

@@ -1,0 +1,1297 @@
+"""Vectorized structure-of-arrays engine backend (the ``"vector"`` backend).
+
+The event-driven :class:`~repro.sim.backends.EventEngine` wins big on
+idle networks but converges toward the dense sweep under saturation —
+when every channel is hot and every component active, skipping idle
+work skips nothing.  The saturated regime is exactly where the paper's
+Figure 3 knee and the large experiments live, so this backend attacks
+the *per-cycle constant factor* instead of the amount of work:
+
+* **Structure of arrays.**  The word *kind* occupying every pipeline
+  slot of every registered channel lives in one dense ``int8`` numpy
+  matrix (one row per pipe, one column per stage), alongside a flat
+  head-kind vector, per-channel in-flight counters, and index-aligned
+  component state/record arrays replacing the per-cycle dict walks.
+  Multi-stage channel advancement is a whole-array roll + gather over
+  the moved rows; single-stage channels (``delay == 1``, the paper's
+  common case) collapse to one scalar head-kind store, which is both
+  the roll and the gather for a one-column row.  Idle-port checks,
+  idle-receiver checks and arrival wakes become integer reads on the
+  head-kind vector — no attribute chains, no ``Word`` inspection.
+* **Python stays authoritative.**  The actual :class:`~repro.core.words.Word`
+  objects still move through the real ``_Pipe`` objects every cycle;
+  the arrays are a *decision layer* mirroring only the kinds.  Every
+  observer, oracle, telemetry probe, predicate and snapshot sees
+  exactly the reference data structures at all times — the arrays are
+  rebuilt from scratch by ``_prepare`` and never serialized.
+* **Steady-state fast paths.**  The router's per-port FSM and the
+  endpoint's protocol edges remain Python, but their common steady
+  states — forwarding and reversing words, counting silence, flushing
+  a draining pipeline, emitting the reversal STATUS word, the TURN
+  and DROP pipe-exit transitions, streaming and awaiting a reply —
+  are replayed by a check-then-apply fast path performing the
+  reference tick's exact effects.  The check pass is free of side
+  effects, so *anything* uncommon — a routing decision, a DROP at
+  pipe entry, a watchdog about to fire, a live fault transform, an
+  active mutation, a trace/telemetry sink that would record — simply
+  bails out to the full reference ``tick`` for that component and
+  cycle.  Because every connection state *transition* either bails or
+  is replayed exactly, the per-router active/idle port partition is
+  invariant between full ticks and is cached; silent idle ports cost
+  nothing at all (their boundary registers are only rewritten when
+  the observed value actually changes).  Equivalence is by
+  construction and checked byte-for-byte by
+  :mod:`repro.verify.backend_diff`.
+
+Degradation mirrors :class:`EventEngine`: foreign components degrade
+the whole run to the dense reference sweep, and when numpy is absent
+the backend transparently behaves exactly like the events backend
+(slower, never wrong).  An optional numba JIT for the multi-stage
+array roll sits behind ``REPRO_JIT=1`` and is import-guarded —
+absence of numba is silently ignored.
+
+This module also hosts the *backend-layer* seeded mutations
+(``repro.core.mutation.BACKEND_MUTATIONS``): deliberate bugs in the
+array bookkeeping used by ``tests/verify`` to prove the equivalence
+prover and the protocol oracle notice when the accelerated engine
+drifts from the reference semantics.
+"""
+
+import os
+from bisect import insort
+
+from repro.core import mutation as _mutation
+from repro.core import words as W
+from repro.core.router import (
+    BLOCKED_STATE,
+    DISCARD_STATE,
+    FORWARD_STATE,
+    IDLE_STATE,
+    MetroRouter,
+    REVERSED_STATE,
+    SETUP_STATE,
+)
+from repro.endpoint.interface import (
+    _AWAIT_REPLY,
+    _RX_AWAIT_CLOSE,
+    _RX_COLLECT,
+    _RX_IDLE,
+    _RX_REPLY,
+    _STREAMING,
+    Endpoint,
+)
+from repro.sim.backends import NEVER, EventEngine
+from repro.sim.component import ACTIVE, PARKED
+from repro.sim.engine import Engine, EngineDeadlineError
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep today
+    _np = None
+
+# -- word-kind codes in the structure-of-arrays mirror ---------------------
+
+KIND_EMPTY = 0
+KIND_DATA = 1
+KIND_IDLE = 2
+KIND_TURN = 3
+KIND_DROP = 4
+KIND_STATUS = 5
+#: BCB sideband pipes carry bare stage-count integers, not Words.
+KIND_BCB = 6
+
+KIND_CODES = {W.DATA: KIND_DATA, W.IDLE: KIND_IDLE, W.TURN: KIND_TURN,
+              W.DROP: KIND_DROP, W.STATUS: KIND_STATUS}
+
+_IDLE_WORD = W.IDLE_WORD
+_CRC_TABLE = W.Checksum._TABLE
+
+# -- optional numba JIT for the array roll (REPRO_JIT=1) -------------------
+
+JIT_REQUESTED = os.environ.get("REPRO_JIT", "") == "1"
+JIT_ACTIVE = False
+
+
+def _roll_rows(kind, rows, staged, headcol):
+    """Shift the selected pipe rows one stage and insert the staged codes."""
+    kind[rows, 1:] = kind[rows, :-1]
+    kind[rows, 0] = staged
+
+
+if JIT_REQUESTED and _np is not None:  # pragma: no cover - optional dep
+    try:
+        from numba import njit as _njit
+    except ImportError:
+        _njit = None
+    if _njit is not None:
+        @_njit(cache=True)
+        def _jit_roll_rows(kind, rows, staged, headcol):
+            for i in range(rows.shape[0]):
+                row = rows[i]
+                for col in range(headcol[row], 0, -1):
+                    kind[row, col] = kind[row, col - 1]
+                kind[row, 0] = staged[i]
+
+        _roll_rows = _jit_roll_rows
+        JIT_ACTIVE = True
+
+
+class _RouterRec:
+    """Per-router fast-path wiring, rebuilt at every ``_prepare``."""
+
+    __slots__ = (
+        "fwd",
+        "bwd",
+        "owned",
+        "ports",
+        "dirty",
+        "dirty_all",
+        "force_slow",
+        "i_base",
+    )
+    is_router = True
+
+    def __init__(self):
+        #: ``(fwd_port, rx_pipe, tx_pipe, channel, rx_row, rx_fault_name)``
+        #: for every wired forward port, in port order.
+        self.fwd = []
+        #: ``(rx_pipe, tx_pipe, bcb_rx_pipe, channel, rx_fault_name)`` or
+        #: None per backward port.
+        self.bwd = []
+        #: Backward-port indices currently owned by a connection (the
+        #: BCB service gate); refreshed after every full tick.
+        self.owned = []
+        #: ``(conn, fwd_entry)`` pairs in port order.  Conn identity is
+        #: valid between refreshes because the one operation replacing
+        #: a connection object (`_begin_drain`) runs inside a reference
+        #: handler, and every handler call marks the wiring stale.
+        self.ports = []
+        #: Boundary registers written non-None last fast cycle (must
+        #: be reset to None before the write can be elided again).
+        self.dirty = []
+        self.dirty_all = True
+        #: Take the full reference tick next cycle.  Set by any wake of
+        #: the router (faults, scan, teardown) and at build time so the
+        #: first cycle after a prepare absorbs out-of-band mutation.
+        self.force_slow = True
+        self.i_base = 0
+
+
+class _EndpointRec:
+    """Per-endpoint fast-path wiring, rebuilt at every ``_prepare``."""
+
+    __slots__ = ("recv", "src")
+    is_router = False
+
+    def __init__(self):
+        #: ``(port, rx_row, recv_state, channel, rx_pipe, rx_fault_name,
+        #: tx_pipe)`` per receive port (the ``_RecvState`` objects are
+        #: created once per endpoint and mutated in place, so caching
+        #: them here is identity-safe).
+        self.recv = []
+        #: ``(end, channel, rx_row, rx_pipe, rx_fault_name, bcb_rx_pipe)``
+        #: per source port.
+        self.src = []
+
+
+class VectorEngine(EventEngine):
+    """Structure-of-arrays vectorized engine (the ``"vector"`` backend)."""
+
+    def __init__(self):
+        EventEngine.__init__(self)
+        self._vec_ready = False
+        self._init_vec_transients()
+
+    def _init_vec_transients(self):
+        self._kindm = None
+        self._chocc = []
+        self._headcol = None
+        self._headk = []
+        self._crecs = {}
+        self._frecs = {}
+        self._comp_list = []
+        self._comp_index = {}
+        self._state_arr = []
+        self._rec_arr = []
+        self._run_list = []
+        self._in_run = []
+
+    # ------------------------------------------------------------------
+    # Snapshot support: the whole array layer is transient
+    # ------------------------------------------------------------------
+
+    _TRANSIENT_ATTRS = EventEngine._TRANSIENT_ATTRS + (
+        "_kindm",
+        "_chocc",
+        "_headcol",
+        "_headk",
+        "_crecs",
+        "_frecs",
+        "_comp_list",
+        "_comp_index",
+        "_state_arr",
+        "_rec_arr",
+        "_run_list",
+        "_in_run",
+    )
+
+    def __getstate__(self):
+        state = EventEngine.__getstate__(self)
+        state["_vec_ready"] = False
+        return state
+
+    def __setstate__(self, state):
+        EventEngine.__setstate__(self, state)
+        self._vec_ready = False
+        self._init_vec_transients()
+
+    # ------------------------------------------------------------------
+    # Preparation: build the structure-of-arrays mirror
+    # ------------------------------------------------------------------
+
+    def _prepare(self):
+        EventEngine._prepare(self)
+        self._vec_ready = False
+        if self.degraded or _np is None:
+            # No numpy (or foreign components): run as the parent
+            # backend would.  Slower, never wrong.
+            return
+        channels = self.channels
+        n_rows = 4 * len(channels)
+        dmax = 1
+        for channel in channels:
+            if channel.delay > dmax:
+                dmax = channel.delay
+        kindm = _np.zeros((n_rows, dmax), dtype=_np.int8)
+        chocc = [0] * len(channels)
+        headcol = _np.zeros(n_rows, dtype=_np.int64)
+        kcodes = KIND_CODES
+        crecs = {}
+        row_of = {}
+        for ci, channel in enumerate(channels):
+            base = 4 * ci
+            # Row order matches _ev_rec: a->b, b->a, bcb a->b, bcb b->a.
+            pipes = (
+                channel._a_to_b,
+                channel._b_to_a,
+                channel._bcb_a_to_b,
+                channel._bcb_b_to_a,
+            )
+            a_side, b_side = self._attached[channel]
+            crecs[channel] = (
+                ci, base, pipes, a_side, b_side, channel.delay == 1, channel
+            )
+            for k in range(4):
+                pipe = pipes[k]
+                row = base + k
+                row_of[pipe] = row
+                headcol[row] = pipe.delay - 1
+                for col, word in enumerate(pipe.slots):
+                    if word is None:
+                        continue
+                    kindm[row, col] = KIND_BCB if k >= 2 else kcodes[word.kind]
+                    chocc[ci] += 1
+        self._kindm = kindm
+        self._chocc = chocc
+        self._headcol = headcol
+        if n_rows:
+            self._headk = kindm[
+                _np.arange(n_rows, dtype=_np.int64), headcol
+            ].tolist()
+        else:
+            self._headk = []
+        self._crecs = crecs
+        frecs = {}
+        for component in self.components:
+            # Exact types only: a subclass may override tick semantics
+            # the fast paths replay, so it gets full ticks instead.
+            if type(component) is MetroRouter:
+                rec = self._build_router_rec(component, row_of)
+            elif type(component) is Endpoint:
+                rec = self._build_endpoint_rec(component, row_of)
+            else:
+                rec = None
+            if rec is not None:
+                frecs[component] = rec
+        self._frecs = frecs
+        # Index-aligned component arrays replace the per-cycle dict
+        # walk of the events backend.
+        comp_list = list(self.components)
+        states = self._states
+        self._comp_list = comp_list
+        self._comp_index = {c: i for i, c in enumerate(comp_list)}
+        self._state_arr = [states[c] for c in comp_list]
+        self._rec_arr = [frecs.get(c) for c in comp_list]
+        self._in_run = [s is not PARKED for s in self._state_arr]
+        in_run = self._in_run
+        self._run_list = [i for i in range(len(comp_list)) if in_run[i]]
+        self._vec_ready = True
+
+    def _build_router_rec(self, router, row_of):
+        rec = _RouterRec()
+        rec.i_base = router.params.i
+        for fp, end in enumerate(router.forward_ends):
+            if end is None:
+                continue
+            row = row_of.get(end._rx)
+            if row is None:
+                # Wired to a channel the engine never registered
+                # (ad-hoc harnesses): no mirror row, no fast path.
+                return None
+            rec.fwd.append(
+                (fp, end._rx, end._tx, end.channel, row, end._rx_fault)
+            )
+        for end in router.backward_ends:
+            if end is None:
+                rec.bwd.append(None)
+                continue
+            if row_of.get(end._rx) is None:
+                return None
+            rec.bwd.append(
+                (end._rx, end._tx, end._bcb_rx, end.channel, end._rx_fault)
+            )
+        return rec
+
+    def _build_endpoint_rec(self, endpoint, row_of):
+        rec = _EndpointRec()
+        for port, end in enumerate(endpoint.receive_ends):
+            row = row_of.get(end._rx)
+            if row is None:
+                return None
+            rec.recv.append(
+                (
+                    port,
+                    row,
+                    endpoint._recv_states[port],
+                    end.channel,
+                    end._rx,
+                    end._rx_fault,
+                    end._tx,
+                )
+            )
+        for end in endpoint.source_ends:
+            row = row_of.get(end._rx)
+            if row is None:
+                return None
+            rec.src.append(
+                (end, end.channel, row, end._rx, end._rx_fault, end._bcb_rx)
+            )
+        return rec
+
+    def _refresh_router_rec(self, router, rec):
+        """Re-cache ownership and the port partition after a full tick
+        (or a replayed teardown); re-arm the fast path."""
+        if not (
+            _mutation.ACTIVE
+            and _mutation.enabled(_mutation.VEC_STALE_OWNERSHIP)
+        ):
+            owned = rec.owned
+            del owned[:]
+            for q, conn in enumerate(router._bwd_owner):
+                if conn is not None:
+                    owned.append(q)
+        conns = router._conns
+        ports = rec.ports
+        del ports[:]
+        for entry in rec.fwd:
+            ports.append((conns[entry[0]], entry))
+        del rec.dirty[:]
+        rec.dirty_all = True
+        rec.force_slow = False
+
+    # ------------------------------------------------------------------
+    # Wake API: out-of-band mutation forces the full reference tick
+    # ------------------------------------------------------------------
+
+    def wake(self, obj):
+        EventEngine.wake(self, obj)
+        rec = self._frecs.get(obj)
+        if rec is not None and rec.is_router:
+            rec.force_slow = True
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+
+    def step(self):
+        if not self._prepared:
+            self._prepare()
+        if self.degraded:
+            Engine.step(self)
+            return
+        if not self._vec_ready:
+            EventEngine.step(self)
+            return
+        if self.deadline is not None and self.cycle >= self.deadline:
+            raise EngineDeadlineError(
+                "engine reached its deadline of {} cycles".format(self.deadline)
+            )
+        for hook in self._pre_cycle_hooks:
+            hook(self)
+        cycle = self.cycle
+        state_arr = self._state_arr
+        woken = self._woken
+        if woken:
+            comp_index = self._comp_index
+            in_run = self._in_run
+            run_list = self._run_list
+            for component in woken:
+                idx = comp_index.get(component)
+                if idx is None:
+                    continue
+                state_arr[idx] = ACTIVE
+                if not in_run[idx]:
+                    in_run[idx] = True
+                    insort(run_list, idx)
+            woken.clear()
+        ticked = self._ticked
+        del ticked[:]
+        tick_append = ticked.append
+        comp_list = self._comp_list
+        rec_arr = self._rec_arr
+        headk = self._headk
+        for idx in self._run_list:
+            state = state_arr[idx]
+            component = comp_list[idx]
+            if state is ACTIVE:
+                rec = rec_arr[idx]
+                if rec is None:
+                    component.tick(cycle)
+                elif rec.is_router:
+                    if rec.force_slow or not self._router_cycle(
+                        component, rec, cycle, headk
+                    ):
+                        component.tick(cycle)
+                        self._refresh_router_rec(component, rec)
+                else:
+                    self._endpoint_cycle(component, rec, cycle, headk)
+                tick_append(idx)
+            elif component.fast_poll(cycle):
+                state_arr[idx] = ACTIVE
+        for observer in self.observers:
+            observer.tick(cycle)
+        self._advance_vector()
+        if cycle & 3 == 3:
+            parked = False
+            in_run = self._in_run
+            for idx in ticked:
+                component = comp_list[idx]
+                after = component.activity_state()
+                if after is not ACTIVE:
+                    state_arr[idx] = after
+                    if after is PARKED:
+                        component.on_park()
+                        in_run[idx] = False
+                        parked = True
+            if parked:
+                self._run_list = [i for i in self._run_list if in_run[i]]
+        self.cycle = cycle + 1
+
+    def _compression_target(self):
+        if not self._vec_ready:
+            return EventEngine._compression_target(self)
+        if (
+            not self._compressible
+            or self.degraded
+            or self.observers
+            or self._hot
+            or self._woken
+        ):
+            return None
+        nearest = NEVER
+        state_arr = self._state_arr
+        comp_list = self._comp_list
+        for idx in self._run_list:
+            if state_arr[idx] is ACTIVE:
+                return None
+            # POLL: the probe protocol mirrors the events backend.
+            probe = getattr(comp_list[idx], "next_event_cycle", None)
+            if probe is None:
+                return None
+            nxt = probe()
+            if nxt is None:
+                return None
+            if nxt < nearest:
+                nearest = nxt
+        for hook in self._pre_cycle_hooks:
+            owner = getattr(hook, "__self__", None)
+            probe = getattr(owner, "next_event_cycle", None)
+            if probe is None:
+                return None
+            nxt = probe()
+            if nxt is None:
+                return None
+            if nxt < nearest:
+                nearest = nxt
+        if self.deadline is not None and self.deadline < nearest:
+            nearest = self.deadline
+        return nearest
+
+    # ------------------------------------------------------------------
+    # Router fast path: side-effect-free check, then exact replay
+    # ------------------------------------------------------------------
+
+    def _router_cycle(self, router, rec, cycle, headk):
+        """One cycle of ``router``; False = take the full reference tick.
+
+        A fused single pass over the ports in port order.  Each
+        connection either replays its validated steady state inline —
+        forwarding and reversing words, counting silence, the STATUS
+        emission and the TURN/DROP pipe-exit transitions — or falls
+        back to the *reference per-state handler* for that port only:
+        routing decisions, watchdog teardowns, close-at-entry drains,
+        records, active mutations and live fault transforms all run
+        the reference code verbatim.  Handlers are independent across
+        ports within a cycle and the pass preserves port order, so
+        RNG draw order and every side effect match the reference tick
+        exactly; any handler call marks the cached wiring stale and it
+        is rebuilt at the end of the pass.
+
+        The only whole-router bail left is a BCB fast-reclamation
+        word arriving on an owned backward port (checked through the
+        cached ownership mask — the ``VEC_STALE_OWNERSHIP`` mutation
+        target), which the full tick services from a clean slate.
+        """
+        if router.dead:
+            # The reference tick returns before doing anything at all.
+            return True
+        bwd = rec.bwd
+        for q in rec.owned:
+            info = bwd[q]
+            if info is not None:
+                channel = info[3]
+                if not channel.dead and info[2].slots[-1] is not None:
+                    return False  # BCB fast-reclamation drop arriving
+        router._cycle = cycle
+        if router._shared_bus:
+            router.random_stream.begin_cycle(cycle)
+        stale = False
+        draining = router._draining
+        if draining:
+            before = len(draining)
+            router._service_draining()
+            if len(draining) != before:
+                stale = True  # a DROP exit released a backward port
+        boundary = router.boundary_capture
+        dirty = rec.dirty
+        if dirty:
+            for fp in dirty:
+                boundary[fp] = None
+            del dirty[:]
+        dirty_all = rec.dirty_all
+        rec.dirty_all = False
+        dirty_append = dirty.append
+        enabled = router.config.port_enabled
+        timeout = router.signal_timeout
+        has_watchdog = timeout is not None
+        mut = _mutation.ACTIVE
+        recording = router.trace is not None or router.telemetry.enabled
+        table = _CRC_TABLE
+        hot_add = self._hot.add
+        i_base = rec.i_base
+        K_DATA = W.DATA
+        K_DROP = W.DROP
+        K_TURN = W.TURN
+        K_IDLE = W.IDLE
+        for pair in rec.ports:
+            conn = pair[0]
+            entry = pair[1]
+            # Inline ChannelEnd.recv: the head-kind vector stands in
+            # for the Word inspection on the empty-wire fast path.
+            if headk[entry[4]]:
+                channel = entry[3]
+                if channel.dead:
+                    word = None
+                else:
+                    word = entry[1].slots[-1]
+                    if word is not None:
+                        fault = getattr(channel, entry[5])
+                        if fault is not None:
+                            word = fault(word)
+            else:
+                word = None
+            fp = entry[0]
+            # The boundary register observes the pins even on disabled
+            # ports; writes are elided while the register already holds
+            # None (the dirty list restores it after any non-None word).
+            if word is not None:
+                boundary[fp] = word
+                dirty_append(fp)
+            elif dirty_all:
+                boundary[fp] = None
+            state = conn.state
+            if state == IDLE_STATE:
+                if word is None or word.kind != K_DATA or not enabled[fp]:
+                    continue
+                router._handle_idle(conn, word)  # routing decision
+                stale = True
+                continue
+            if not enabled[fp]:
+                continue
+            if state == FORWARD_STATE:
+                if word is not None and word.kind == K_DROP:
+                    router._handle_forward(conn, word)  # close: _begin_drain
+                    stale = True
+                    continue
+                if conn.status_pending:
+                    if mut:
+                        router._handle_forward(conn, word)
+                        stale = True
+                        continue
+                    # The STATUS word leads the refilling downstream
+                    # stream (reference _handle_forward status path).
+                    crc = conn.checksum
+                    binfo = bwd[conn.bwd_port]
+                    binfo[1].staged = W.status(
+                        False, crc.value, conn.words_forwarded, router.name
+                    )
+                    hot_add(binfo[3])
+                    conn.status_pending = False
+                    if word is not None and word.kind == K_DATA:
+                        acc = 0
+                        value = word.value
+                        while True:
+                            acc = table[acc ^ (value & 0xFF)]
+                            value >>= 8
+                            if value == 0:
+                                break
+                        crc.value = acc
+                        conn.words_forwarded = 1
+                    else:
+                        crc.value = 0
+                        conn.words_forwarded = 0
+                    pipe = conn.pipe
+                    pipe.pop()
+                    pipe.insert(0, word)
+                    continue
+                if (
+                    word is None
+                    and has_watchdog
+                    and conn.silent_cycles + 1 >= timeout
+                ):
+                    router._handle_forward(conn, None)  # watchdog teardown
+                    stale = True
+                    continue
+                pipe = conn.pipe
+                out = pipe[-1]
+                if out is not None and out.kind == K_TURN:
+                    if mut or recording:
+                        router._handle_forward(conn, word)  # conn-turn record
+                        stale = True
+                        continue
+                    # FORWARD -> REVERSED: the TURN exits the pipe.
+                    # begin_new_direction clears the pipe and zeroes the
+                    # silence counter, so only the checksum bookkeeping
+                    # of the entering word survives.
+                    if word is not None and word.kind == K_DATA:
+                        crc = conn.checksum
+                        acc = crc.value
+                        value = word.value
+                        while True:
+                            acc = table[acc ^ (value & 0xFF)]
+                            value >>= 8
+                            if value == 0:
+                                break
+                        crc.value = acc
+                        conn.words_forwarded += 1
+                    binfo = bwd[conn.bwd_port]
+                    binfo[1].staged = out
+                    hot_add(binfo[3])
+                    conn.state = REVERSED_STATE
+                    conn.status_pending = True
+                    conn.silent_cycles = 0
+                    for i in range(len(pipe)):
+                        pipe[i] = None
+                    continue
+                # FORWARD steady state (reference _handle_forward).
+                if word is None:
+                    if has_watchdog:
+                        conn.silent_cycles += 1
+                    moved = _IDLE_WORD
+                else:
+                    conn.silent_cycles = 0
+                    if word.kind == K_DATA:
+                        crc = conn.checksum
+                        acc = crc.value
+                        value = word.value
+                        while True:
+                            acc = table[acc ^ (value & 0xFF)]
+                            value >>= 8
+                            if value == 0:
+                                break
+                        crc.value = acc
+                        conn.words_forwarded += 1
+                    moved = word
+                out = pipe.pop()
+                pipe.insert(0, moved)
+                if out is not None:
+                    binfo = bwd[conn.bwd_port]
+                    binfo[1].staged = out
+                    hot_add(binfo[3])
+                continue
+            if state == REVERSED_STATE:
+                if word is not None and word.kind == K_DROP:
+                    router._handle_reversed(conn, word)  # upstream close
+                    stale = True
+                    continue
+                binfo = bwd[conn.bwd_port]
+                if binfo is None:
+                    router._handle_reversed(conn, word)
+                    stale = True
+                    continue
+                bchannel = binfo[3]
+                if bchannel.dead:
+                    rin = None
+                else:
+                    if getattr(bchannel, binfo[4]) is not None:
+                        # Live reverse-side fault: the handler's own
+                        # recv applies the transform exactly once.
+                        router._handle_reversed(conn, word)
+                        stale = True
+                        continue
+                    rin = binfo[0].slots[-1]
+                if (
+                    rin is None
+                    and has_watchdog
+                    and conn.silent_cycles + 1 >= timeout
+                ):
+                    router._handle_reversed(conn, word)  # watchdog teardown
+                    stale = True
+                    continue
+                if conn.status_pending:
+                    if mut:
+                        router._handle_reversed(conn, word)
+                        stale = True
+                        continue
+                    # STATUS precedes all reverse data (reference
+                    # _handle_reversed status path).
+                    boundary[i_base + conn.bwd_port] = rin
+                    crc = conn.checksum
+                    if rin is None:
+                        if has_watchdog:
+                            conn.silent_cycles += 1
+                    else:
+                        conn.silent_cycles = 0
+                        if rin.kind == K_DATA:
+                            acc = crc.value
+                            value = rin.value
+                            while True:
+                                acc = table[acc ^ (value & 0xFF)]
+                                value >>= 8
+                                if value == 0:
+                                    break
+                            crc.value = acc
+                            conn.words_forwarded += 1
+                    pipe = conn.pipe
+                    pipe.pop()
+                    pipe.insert(0, rin)
+                    entry[2].staged = W.status(
+                        False, crc.value, conn.words_forwarded, router.name
+                    )
+                    hot_add(entry[3])
+                    conn.status_pending = False
+                    crc.value = 0
+                    conn.words_forwarded = 0
+                    continue
+                pipe = conn.pipe
+                out = pipe[-1]
+                if out is not None:
+                    okind = out.kind
+                    if okind == K_DROP:
+                        if mut or recording:
+                            router._handle_reversed(conn, word)
+                            stale = True
+                            continue
+                        # REVERSED teardown: the DROP exits the pipe;
+                        # release the crosspoint and idle the port.
+                        # conn.reset() wipes every field the skipped
+                        # rin bookkeeping would have touched.
+                        q = conn.bwd_port
+                        boundary[i_base + q] = rin
+                        entry[2].staged = out
+                        hot_add(entry[3])
+                        router.allocator.release(q)
+                        router._bwd_owner[q] = None
+                        conn.bwd_port = None
+                        conn.reset()
+                        stale = True
+                        continue
+                    if okind == K_TURN:
+                        if mut or recording:
+                            router._handle_reversed(conn, word)
+                            stale = True
+                            continue
+                        # REVERSED -> FORWARD: the destination handed
+                        # the direction back.
+                        boundary[i_base + conn.bwd_port] = rin
+                        if rin is not None and rin.kind == K_DATA:
+                            crc = conn.checksum
+                            acc = crc.value
+                            value = rin.value
+                            while True:
+                                acc = table[acc ^ (value & 0xFF)]
+                                value >>= 8
+                                if value == 0:
+                                    break
+                            crc.value = acc
+                            conn.words_forwarded += 1
+                        entry[2].staged = out
+                        hot_add(entry[3])
+                        conn.state = FORWARD_STATE
+                        conn.status_pending = True
+                        conn.silent_cycles = 0
+                        for i in range(len(pipe)):
+                            pipe[i] = None
+                        continue
+                # REVERSED steady state (reference _handle_reversed).
+                boundary[i_base + conn.bwd_port] = rin
+                if rin is None:
+                    if has_watchdog:
+                        conn.silent_cycles += 1
+                else:
+                    conn.silent_cycles = 0
+                    if rin.kind == K_DATA:
+                        crc = conn.checksum
+                        acc = crc.value
+                        value = rin.value
+                        while True:
+                            acc = table[acc ^ (value & 0xFF)]
+                            value >>= 8
+                            if value == 0:
+                                break
+                        crc.value = acc
+                        conn.words_forwarded += 1
+                out = pipe.pop()
+                pipe.insert(0, rin)
+                entry[2].staged = out if out is not None else _IDLE_WORD
+                hot_add(entry[3])
+                continue
+            # SETUP / BLOCKED / DISCARD: replay only silence counting
+            # and silent swallowing; every transition word runs the
+            # reference handler.
+            if state == DISCARD_STATE and conn.drop_then_idle:
+                router._handle_discard(conn, word)  # deferred DROP reply
+                stale = True
+                continue
+            if word is None:
+                if has_watchdog:
+                    sc = conn.silent_cycles + 1
+                    if sc >= timeout:
+                        if state == SETUP_STATE:
+                            router._handle_setup(conn, None)
+                        elif state == BLOCKED_STATE:
+                            router._handle_blocked(conn, None)
+                        else:
+                            router._handle_discard(conn, None)
+                        stale = True
+                        continue
+                    conn.silent_cycles = sc
+                continue
+            kind = word.kind
+            if kind == K_DROP or kind == K_TURN or (
+                state == SETUP_STATE and kind != K_IDLE
+            ):
+                if state == SETUP_STATE:
+                    router._handle_setup(conn, word)
+                elif state == BLOCKED_STATE:
+                    router._handle_blocked(conn, word)
+                else:
+                    router._handle_discard(conn, word)
+                stale = True
+                continue
+            conn.silent_cycles = 0
+        if stale:
+            self._refresh_router_rec(router, rec)
+        return True
+
+    # ------------------------------------------------------------------
+    # Endpoint fast path
+    # ------------------------------------------------------------------
+
+    def _endpoint_cycle(self, endpoint, rec, cycle, headk):
+        endpoint._cycle = cycle
+        rt = endpoint.reply_timeout
+        K_DATA = W.DATA
+        K_DROP = W.DROP
+        K_TURN = W.TURN
+        for rentry in rec.recv:
+            rstate = rentry[2]
+            phase = rstate.phase
+            hk = headk[rentry[1]]
+            if phase == _RX_IDLE:
+                # An idle receiver with an empty wire head is the
+                # reference tick's most common no-op: skip it on the
+                # array read alone.  A non-DATA head is equally inert.
+                if hk == 0:
+                    continue
+                channel = rentry[3]
+                if channel.dead:
+                    continue
+                word = rentry[4].slots[-1]
+                if word is not None:
+                    fault = getattr(channel, rentry[5])
+                    if fault is not None:
+                        word = fault(word)
+                if word is not None and word.kind == K_DATA:
+                    rstate.buffer = [word.value]
+                    rstate.phase = _RX_COLLECT
+                    rstate.timer = 0
+                continue
+            if phase == _RX_COLLECT:
+                word = None
+                if hk:
+                    channel = rentry[3]
+                    if not channel.dead:
+                        word = rentry[4].slots[-1]
+                        if word is not None:
+                            fault = getattr(channel, rentry[5])
+                            if fault is not None:
+                                word = fault(word)
+                if word is None:
+                    timer = rstate.timer + 1
+                    if timer >= rt:
+                        rstate.reset()
+                    else:
+                        rstate.timer = timer
+                    continue
+                rstate.timer = 0
+                kind = word.kind
+                if kind == K_DATA:
+                    rstate.buffer.append(word.value)
+                elif kind == K_TURN:
+                    endpoint._assemble_reply(rstate)
+                elif kind == K_DROP:
+                    rstate.reset()
+                continue
+            if phase == _RX_REPLY:
+                channel = rentry[3]
+                if (
+                    hk
+                    and not channel.dead
+                    and getattr(channel, rentry[5]) is not None
+                    and rentry[4].slots[-1] is not None
+                ):
+                    # A live fault transform must still be applied to
+                    # the (discarded) incoming word: the reference recv
+                    # draws from it even while replying.
+                    endpoint._service_receive(rentry[0])
+                    continue
+                if rstate.delay > 0:
+                    rstate.delay -= 1
+                    rentry[6].staged = _IDLE_WORD
+                else:
+                    reply = rstate.reply
+                    position = rstate.reply_position
+                    rentry[6].staged = reply[position]
+                    position += 1
+                    rstate.reply_position = position
+                    if position >= len(reply):
+                        rstate.phase = _RX_AWAIT_CLOSE
+                        rstate.timer = 0
+                hook = channel.hot_hook
+                if hook is not None:
+                    hook(channel)
+                continue
+            # _RX_AWAIT_CLOSE
+            word = None
+            if hk:
+                channel = rentry[3]
+                if not channel.dead:
+                    word = rentry[4].slots[-1]
+                    if word is not None:
+                        fault = getattr(channel, rentry[5])
+                        if fault is not None:
+                            word = fault(word)
+            if word is None:
+                timer = rstate.timer + 1
+                if timer >= rt:
+                    rstate.reset()
+                else:
+                    rstate.timer = timer
+                continue
+            rstate.timer = 0
+            kind = word.kind
+            if kind == K_DROP:
+                rstate.reset()
+            elif kind == K_DATA:
+                # Another forward round (Section 5.1).
+                rstate.buffer = [word.value]
+                rstate.phase = _RX_COLLECT
+        sends = endpoint._sends
+        if sends:
+            src = rec.src
+            telemetry_on = endpoint.telemetry.enabled
+            for port in list(sends):
+                send = sends[port]
+                end, channel, srow, rx_pipe, fault_name, bcb_pipe = src[port]
+                if channel.dead:
+                    bcb = None
+                else:
+                    bcb = bcb_pipe.slots[-1]
+                if bcb is not None or telemetry_on:
+                    endpoint._service_send(send)
+                    continue
+                phase = send.phase
+                if phase == _STREAMING:
+                    # Inline the streaming steady state (one word per
+                    # cycle; reference _service_send).
+                    words = send.words
+                    position = send.position
+                    end._tx.staged = words[position]
+                    hook = channel.hot_hook
+                    if hook is not None:
+                        hook(channel)
+                    position += 1
+                    send.position = position
+                    if position >= len(words):
+                        send.phase = _AWAIT_REPLY
+                        send.timer = 0
+                elif phase == _AWAIT_REPLY:
+                    # Inline the await steady states: silence below the
+                    # reply timeout, and STATUS/DATA reply words.
+                    if channel.dead or headk[srow] == 0:
+                        if send.timer + 1 >= rt:
+                            endpoint._service_send(send)
+                        else:
+                            send.timer += 1
+                        continue
+                    if getattr(channel, fault_name) is not None:
+                        endpoint._service_send(send)
+                        continue
+                    word = rx_pipe.slots[-1]
+                    kind = word.kind
+                    if kind == W.STATUS:
+                        send.timer = 0
+                        send.statuses.append(word.value)
+                    elif kind == K_DATA:
+                        send.timer = 0
+                        send.reply_words.append(word.value)
+                    elif kind == W.IDLE:
+                        if send.timer + 1 >= rt:
+                            endpoint._service_send(send)
+                        else:
+                            send.timer += 1
+                    else:
+                        endpoint._service_send(send)
+                else:
+                    endpoint._service_send(send)
+        if (
+            endpoint.traffic_source is not None
+            and len(endpoint._queue) + len(sends) < endpoint.max_outstanding
+        ):
+            endpoint._maybe_generate(cycle)
+        if endpoint._queue and len(sends) < endpoint.max_outstanding:
+            endpoint._maybe_start_send(cycle)
+
+    # ------------------------------------------------------------------
+    # Vectorized channel advance
+    # ------------------------------------------------------------------
+
+    def _advance_vector(self):
+        hot = self._hot
+        if not hot:
+            return
+        mutated = _mutation.ACTIVE
+        drop_status = mutated and _mutation.enabled(
+            _mutation.VEC_DROP_STATUS_KIND
+        )
+        skip_wake = mutated and _mutation.enabled(_mutation.VEC_SKIP_WAKE)
+        crecs = self._crecs
+        kcodes = KIND_CODES
+        headk = self._headk
+        chocc = self._chocc
+        woken_add = self._woken.add
+        K_DATA = W.DATA
+        cold = []
+        grows = None
+        gcodes = None
+        gchans = None
+        for channel in hot:
+            crec = crecs[channel]
+            pipes = crec[2]
+            p0 = pipes[0]
+            p1 = pipes[1]
+            down = p0.staged
+            up = p1.staged
+            if down is not None or up is not None:
+                if (
+                    down is not None
+                    and up is not None
+                    and down.kind == K_DATA
+                    and up.kind == K_DATA
+                ):
+                    channel.half_duplex_violations += 1
+                telemetry = channel.telemetry
+                if telemetry is not None:
+                    telemetry.channel_activity(channel, down, up)
+            if crec[5]:
+                # delay-1 channel: the single-column roll and gather
+                # collapse to scalar head-kind stores.
+                base = crec[1]
+                ci = crec[0]
+                occ = chocc[ci]
+                slots = p0.slots
+                leaving = slots[0]
+                if down is not None:
+                    slots[0] = down
+                    p0.staged = None
+                    p0.occupied = 1
+                    code = kcodes[down.kind]
+                    if drop_status and code == KIND_STATUS:
+                        code = KIND_EMPTY
+                    headk[base] = code
+                    if leaving is None:
+                        occ += 1
+                elif leaving is not None:
+                    slots[0] = None
+                    p0.occupied = 0
+                    headk[base] = 0
+                    occ -= 1
+                slots = p1.slots
+                leaving = slots[0]
+                if up is not None:
+                    slots[0] = up
+                    p1.staged = None
+                    p1.occupied = 1
+                    code = kcodes[up.kind]
+                    if drop_status and code == KIND_STATUS:
+                        code = KIND_EMPTY
+                    headk[base + 1] = code
+                    if leaving is None:
+                        occ += 1
+                elif leaving is not None:
+                    slots[0] = None
+                    p1.occupied = 0
+                    headk[base + 1] = 0
+                    occ -= 1
+                p2 = pipes[2]
+                staged = p2.staged
+                slots = p2.slots
+                leaving = slots[0]
+                if staged is not None:
+                    slots[0] = staged
+                    p2.staged = None
+                    p2.occupied = 1
+                    headk[base + 2] = KIND_BCB
+                    if leaving is None:
+                        occ += 1
+                elif leaving is not None:
+                    slots[0] = None
+                    p2.occupied = 0
+                    headk[base + 2] = 0
+                    occ -= 1
+                p3 = pipes[3]
+                staged = p3.staged
+                slots = p3.slots
+                leaving = slots[0]
+                if staged is not None:
+                    slots[0] = staged
+                    p3.staged = None
+                    p3.occupied = 1
+                    headk[base + 3] = KIND_BCB
+                    if leaving is None:
+                        occ += 1
+                elif leaving is not None:
+                    slots[0] = None
+                    p3.occupied = 0
+                    headk[base + 3] = 0
+                    occ -= 1
+                chocc[ci] = occ
+                if occ:
+                    if not skip_wake:
+                        side = crec[4]
+                        if side is not None and (
+                            headk[base] or headk[base + 2]
+                        ):
+                            woken_add(side)
+                        side = crec[3]
+                        if side is not None and (
+                            headk[base + 1] or headk[base + 3]
+                        ):
+                            woken_add(side)
+                else:
+                    cold.append(channel)
+            else:
+                # Multi-stage channel: move the words through the real
+                # pipes and collect the staged codes for the array roll.
+                if grows is None:
+                    grows = []
+                    gcodes = []
+                    gchans = []
+                gchans.append(crec)
+                base = crec[1]
+                for k in range(4):
+                    pipe = pipes[k]
+                    staged = pipe.staged
+                    if staged is None and pipe.occupied == 0:
+                        continue
+                    slots = pipe.slots
+                    leaving = slots.pop()
+                    slots.insert(0, staged)
+                    pipe.staged = None
+                    pipe.occupied += (staged is not None) - (
+                        leaving is not None
+                    )
+                    grows.append(base + k)
+                    if staged is None:
+                        gcodes.append(KIND_EMPTY)
+                    elif k >= 2:
+                        gcodes.append(KIND_BCB)
+                    else:
+                        code = kcodes[staged.kind]
+                        if drop_status and code == KIND_STATUS:
+                            code = KIND_EMPTY
+                        gcodes.append(code)
+        if gchans is not None:
+            # Roll the kind matrix for the moved multi-stage rows and
+            # re-gather their heads in whole-array ops.  (delay-1 rows
+            # keep their matrix column stale on purpose: their head
+            # kind lives in the flat vector alone.)
+            if grows:
+                kindm = self._kindm
+                headcol = self._headcol
+                row_idx = _np.fromiter(grows, _np.int64, len(grows))
+                staged_codes = _np.fromiter(gcodes, _np.int8, len(gcodes))
+                leaving_codes = kindm[row_idx, headcol[row_idx]]
+                _roll_rows(kindm, row_idx, staged_codes, headcol)
+                delta = (staged_codes != KIND_EMPTY).astype(_np.int32)
+                delta -= leaving_codes != KIND_EMPTY
+                if mutated and _mutation.enabled(
+                    _mutation.VEC_ROLL_OFF_BY_ONE
+                ):
+                    cols = _np.maximum(headcol[row_idx] - 1, 0)
+                else:
+                    cols = headcol[row_idx]
+                heads = kindm[row_idx, cols].tolist()
+                deltas = delta.tolist()
+                for i in range(len(grows)):
+                    row = grows[i]
+                    headk[row] = heads[i]
+                    chocc[row >> 2] += deltas[i]
+            for crec in gchans:
+                base = crec[1]
+                if chocc[crec[0]]:
+                    if not skip_wake:
+                        side = crec[4]
+                        if side is not None and (
+                            headk[base] or headk[base + 2]
+                        ):
+                            woken_add(side)
+                        side = crec[3]
+                        if side is not None and (
+                            headk[base + 1] or headk[base + 3]
+                        ):
+                            woken_add(side)
+                else:
+                    cold.append(crec[6])
+        for channel in cold:
+            hot.discard(channel)
+
+
+# Register at import time.  repro.sim.backends imports this module at
+# its own tail, so loading either module registers the backend; the
+# circular import is safe because EventEngine is defined before the
+# backends module imports us.
+from repro.sim import backends as _backends  # noqa: E402
+
+_backends.BACKENDS["vector"] = VectorEngine

@@ -40,6 +40,8 @@ reproducible and can fan out across a
 is picklable).
 """
 
+import difflib
+import pprint
 import random
 from collections import namedtuple
 
@@ -85,13 +87,79 @@ def message_fingerprint(log):
     }
 
 
+#: Positions of the simulation cycle and the component id inside the
+#: known sequence-valued fingerprint records (see
+#: :func:`message_fingerprint` and the per-family fingerprints below).
+_RECORD_FIELDS = {
+    "messages": {"cycle": 3, "component": 0},  # queued_cycle, source
+    "receiver_arrivals": {"cycle": 0},
+    "applied": {"cycle": 0},
+}
+
+
+def _unified_diff(ref_value, other_value):
+    """A unified diff of the two records' pretty-printed forms."""
+    diff = difflib.unified_diff(
+        pprint.pformat(ref_value, width=68).splitlines(),
+        pprint.pformat(other_value, width=68).splitlines(),
+        fromfile="reference",
+        tofile="candidate",
+        lineterm="",
+    )
+    return "\n".join(diff)
+
+
+def _describe_key_divergence(prefix, key, ref_value, other_value):
+    """One actionable description of how a fingerprint key diverged.
+
+    For sequence-valued keys the description pinpoints the *first*
+    divergent record — its index, the simulation cycle and the
+    component id where the record carries them — followed by a unified
+    diff of just that record pair.  Scalar and mapping keys get the
+    unified diff of their whole values.
+    """
+    if isinstance(ref_value, list) and isinstance(other_value, list):
+        limit = min(len(ref_value), len(other_value))
+        index = limit
+        for i in range(limit):
+            if ref_value[i] != other_value[i]:
+                index = i
+                break
+        ref_rec = ref_value[index] if index < len(ref_value) else "<absent>"
+        other_rec = (
+            other_value[index] if index < len(other_value) else "<absent>"
+        )
+        header = "{}{}: first divergence at record {} of {}/{}".format(
+            prefix, key, index, len(ref_value), len(other_value)
+        )
+        fields = _RECORD_FIELDS.get(key, {})
+        probe = ref_rec if ref_rec != "<absent>" else other_rec
+        if isinstance(probe, tuple):
+            position = fields.get("cycle")
+            if position is not None and position < len(probe):
+                header += ", cycle {}".format(probe[position])
+            position = fields.get("component")
+            if position is not None and position < len(probe):
+                header += ", component {}".format(probe[position])
+        return header + "\n" + _unified_diff(ref_rec, other_rec)
+    return "{}{}:\n{}".format(
+        prefix, key, _unified_diff(ref_value, other_value)
+    )
+
+
 def _compare(fingerprints, mismatches, prefix=""):
-    """Append a description per differing key of two fingerprint dicts."""
+    """Append a description per differing key of two fingerprint dicts.
+
+    Each description localizes the first divergence (record index,
+    cycle and component id where available) and shows a unified diff
+    of the divergent records, so an equivalence failure is actionable
+    without re-running the trial under a debugger.
+    """
     ref, other = fingerprints
     for key in ref:
         if ref[key] != other[key]:
             mismatches.append(
-                "{}{}: reference={!r} != {!r}".format(prefix, key, ref[key], other[key])
+                _describe_key_divergence(prefix, key, ref[key], other[key])
             )
 
 

@@ -47,6 +47,7 @@ from repro.core.router import (
     IDLE_STATE,
     REVERSED_STATE,
 )
+from repro.endpoint.interface import _RX_IDLE
 from repro.sim.component import Component
 
 # Rule identifiers carried by Violation records.
@@ -60,6 +61,7 @@ RULE_HALF_DUPLEX = "half-duplex"
 RULE_CASCADE_INUSE = "cascade-inuse-mismatch"
 RULE_LEAK = "quiescence-leak"
 RULE_MASKED_PORT = "data-on-masked-port"
+RULE_BCB_IGNORED = "bcb-ignored"
 
 
 class Violation:
@@ -128,16 +130,26 @@ class Oracle(Component):
     name = "oracle"
 
     def __init__(
-        self, routers, channels=None, turn_stall_bound=2, max_violations=1000
+        self,
+        routers,
+        channels=None,
+        endpoints=None,
+        turn_stall_bound=2,
+        max_violations=1000,
     ):
         self.routers = list(routers)
         self.channels = list(channels) if channels is not None else []
+        self.endpoints = list(endpoints) if endpoints is not None else []
         self.turn_stall_bound = turn_stall_bound
         self.max_violations = max_violations
         self.violations = []
         self.cycles_checked = 0
         self._tracks = {}  # (router_name, id(conn)) -> _ConnTrack
         self._half_duplex_seen = {id(ch): 0 for ch in self.channels}
+        # (router_name, q) -> (owner, state, words_forwarded) at the
+        # previous observed tick: the pre-tick ownership a BCB pulse at
+        # a backward-channel head was addressed to (see _check_router).
+        self._bcb_shadow = {}
 
     # ------------------------------------------------------------------
     # Pickling (snapshot support)
@@ -169,6 +181,10 @@ class Oracle(Component):
         self._tracks = {
             (name, id(track.conn)): track for name, track in tracks
         }
+        # Snapshots written before the BCB rule / endpoint quiescence
+        # checks existed restore clean.
+        self.__dict__.setdefault("_bcb_shadow", {})
+        self.__dict__.setdefault("endpoints", [])
 
     # ------------------------------------------------------------------
     # Reporting
@@ -226,7 +242,46 @@ class Oracle(Component):
         live.update(id(conn) for conn in router._draining)
 
         # --- backward side: allocator/owner agreement, locked channels
+        shadow = self._bcb_shadow
         for q, owner in enumerate(owners):
+            # Fast-reclamation conformance: the oracle observes the
+            # post-tick, pre-advance state, so a BCB pulse still at the
+            # head of a backward-control pipe was presented to this
+            # router *this* cycle, and servicing it is unconditional at
+            # tick top (Section 3.3): the addressed connection is torn
+            # down and its port released before any port handling runs.
+            # If the pre-tick owner (last tick's shadow) still owns the
+            # port with its FSM and forward-count unchanged, the router
+            # ignored the pulse.  A serviced-then-reallocated port does
+            # not match: the reused connection restarts in a fresh
+            # state with its word counter rewound.
+            end = router.backward_ends[q]
+            if end is not None and end.recv_bcb() is not None:
+                prev = shadow.get((router.name, q))
+                if prev is not None and prev[0] is not None:
+                    prev_owner, prev_state, prev_words = prev
+                    if (
+                        owner is prev_owner
+                        and owner.bwd_port == q
+                        and owner.state == prev_state
+                        and owner.words_forwarded >= prev_words
+                    ):
+                        self._violate(
+                            cycle,
+                            router.name,
+                            q,
+                            RULE_BCB_IGNORED,
+                            "BCB reclamation pulse presented this cycle "
+                            "but the owning connection (fwd port {}, "
+                            "state {!r}) was not torn down".format(
+                                owner.fwd_port, owner.state
+                            ),
+                        )
+            shadow[(router.name, q)] = (
+                owner,
+                None if owner is None else owner.state,
+                0 if owner is None else owner.words_forwarded,
+            )
             if owner is not None and id(owner) not in live:
                 self._violate(
                     cycle,
@@ -428,8 +483,11 @@ class Oracle(Component):
 
         Call after traffic stops and the network reports quiet: any
         busy backward port or non-idle connection FSM on a live router
-        is a resource leak (METRO's statelessness claim, Section 2).
-        Returns the violations recorded by this check.
+        is a resource leak, and so is an endpoint send or receive FSM
+        still mid-protocol (METRO's statelessness claim, Section 2).
+        Calling it on a network that *failed* to quiesce inventories
+        what is stuck, for the same rule.  Returns the violations
+        recorded by this check.
         """
         found = []
         for router in self.routers:
@@ -456,6 +514,42 @@ class Oracle(Component):
                             "connection FSM stuck in {!r}".format(conn.state),
                         )
                     )
+        for endpoint in self.endpoints:
+            if getattr(endpoint, "dead", False):
+                continue
+            for port, send in sorted(endpoint._sends.items()):
+                found.append(
+                    Violation(
+                        cycle,
+                        endpoint.name,
+                        port,
+                        RULE_LEAK,
+                        "send FSM stuck in {!r}".format(send.phase),
+                    )
+                )
+            if endpoint._queue:
+                found.append(
+                    Violation(
+                        cycle,
+                        endpoint.name,
+                        None,
+                        RULE_LEAK,
+                        "{} message(s) still queued".format(
+                            len(endpoint._queue)
+                        ),
+                    )
+                )
+            for port, state in enumerate(endpoint._recv_states):
+                if state.phase != _RX_IDLE:
+                    found.append(
+                        Violation(
+                            cycle,
+                            endpoint.name,
+                            port,
+                            RULE_LEAK,
+                            "receive FSM stuck in {!r}".format(state.phase),
+                        )
+                    )
         for violation in found:
             if len(self.violations) < self.max_violations:
                 self.violations.append(violation)
@@ -473,6 +567,7 @@ def attach_oracle(network, **kwargs):
     oracle = Oracle(
         list(network.all_routers()),
         channels=list(network.channels.values()),
+        endpoints=list(network.endpoints),
         **kwargs
     )
     network.engine.add_observer(oracle)

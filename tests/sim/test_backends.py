@@ -20,10 +20,13 @@ from repro.sim.engine import Engine, EngineDeadlineError
 
 
 def test_make_engine_selects_backend():
+    from repro.sim.vector import VectorEngine
+
     assert type(make_engine()) is Engine
     assert type(make_engine("reference")) is Engine
     assert type(make_engine("events")) is EventEngine
-    assert set(BACKENDS) == {"reference", "events"}
+    assert type(make_engine("vector")) is VectorEngine
+    assert set(BACKENDS) == {"reference", "events", "vector"}
 
 
 def test_make_engine_rejects_unknown_backend():

@@ -1,0 +1,158 @@
+"""Vector (structure-of-arrays) backend: surface and safety nets.
+
+The deep equivalence claims live in ``repro.verify.backend_diff`` and
+the property tests; this module pins the backend's *surface*: registry
+wiring, the SoA mirror actually mirroring the wires, snapshot
+transmutation in and out of the backend, the degrade-to-dense guard
+for foreign components, idle-run compression, and the optional-JIT
+import guard falling back cleanly when numba is absent.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.endpoint.traffic import UniformRandomTraffic
+from repro.harness.load_sweep import figure1_network
+from repro.sim.backends import BACKENDS, make_engine
+from repro.sim.component import Component
+from repro.sim.snapshot import restore_network, snapshot_network
+from repro.sim.vector import (
+    JIT_ACTIVE,
+    JIT_REQUESTED,
+    KIND_BCB,
+    KIND_CODES,
+    VectorEngine,
+)
+from repro.verify.backend_diff import message_fingerprint
+
+np = pytest.importorskip("numpy")
+
+
+def _loaded_network(backend, seed=11, rate=0.02, cycles=0):
+    network = figure1_network(seed=seed, backend=backend)
+    UniformRandomTraffic(
+        n_endpoints=network.plan.n_endpoints,
+        w=network.codec.w,
+        rate=rate,
+        message_words=12,
+        seed=seed + 1,
+    ).attach(network)
+    if cycles:
+        network.run(cycles)
+    return network
+
+
+def test_vector_backend_is_registered():
+    assert BACKENDS["vector"] is VectorEngine
+    assert isinstance(make_engine("vector"), VectorEngine)
+
+
+def test_soa_mirror_tracks_the_wires_mid_run():
+    network = _loaded_network("vector", cycles=157)
+    engine = network.engine
+    assert not engine.degraded
+    # Paused mid-run, the head-kind mirror must agree with the actual
+    # Word objects at every pipe head: the arrays are a cache of the
+    # wires, never an alternative truth.
+    for channel, crec in engine._crecs.items():
+        base, pipes = crec[1], crec[2]
+        for k, pipe in enumerate(pipes):
+            head = pipe.slots[-1]
+            mirrored = engine._headk[base + k]
+            if head is None:
+                assert mirrored == 0, (channel.name, k)
+            elif k >= 2:
+                assert mirrored == KIND_BCB, (channel.name, k)
+            else:
+                assert mirrored == KIND_CODES[head.kind], (channel.name, k)
+
+
+def test_loaded_run_matches_reference():
+    reference = _loaded_network("reference", cycles=400)
+    vector = _loaded_network("vector", cycles=400)
+    assert message_fingerprint(vector.log) == message_fingerprint(
+        reference.log
+    )
+
+
+@pytest.mark.parametrize("restore_backend", sorted(BACKENDS))
+def test_snapshot_transmutes_from_vector(restore_backend):
+    # A snapshot captured under the vector backend restores under any
+    # backend and finishes on the reference trajectory: the SoA mirror
+    # is transient state, rebuilt rather than serialized.
+    expected = message_fingerprint(_loaded_network("vector", cycles=400).log)
+    network = _loaded_network("vector", cycles=150)
+    snap = snapshot_network(network)
+    restored = restore_network(snap, backend=restore_backend).network
+    assert type(restored.engine) is type(make_engine(restore_backend))
+    restored.run(250)
+    assert message_fingerprint(restored.log) == expected
+
+
+class _ForeignComponent(Component):
+    name = "foreign"
+
+    def __init__(self):
+        self.ticks = 0
+
+    def tick(self, cycle):
+        self.ticks += 1
+
+
+def test_foreign_component_degrades_to_dense():
+    network = _loaded_network("vector")
+    foreign = network.engine.add_component(_ForeignComponent())
+    network.run(300)
+    assert network.engine.degraded
+    assert foreign.ticks == 300
+    assert message_fingerprint(network.log) == message_fingerprint(
+        _loaded_network("reference", cycles=300).log
+    )
+
+
+def test_idle_network_compresses():
+    network = figure1_network(seed=11, backend="vector")
+    network.run(20000)
+    assert network.engine.cycle == 20000
+    assert network.engine.compressed_cycles > 0.9 * 20000
+
+
+def test_jit_disabled_by_default():
+    if not os.environ.get("REPRO_JIT"):
+        assert not JIT_REQUESTED
+        assert not JIT_ACTIVE
+
+
+def test_jit_request_falls_back_cleanly_without_numba():
+    # REPRO_JIT=1 must never be able to break an import: with numba
+    # absent the pure-python roll stays in place, and with it present
+    # the jitted roll is byte-equivalent (the equivalence families run
+    # either way).  Proven in a subprocess so the env var matters.
+    env = dict(os.environ, REPRO_JIT="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    code = (
+        "from repro.sim import vector\n"
+        "from repro.harness.load_sweep import figure1_network\n"
+        "from repro.endpoint.traffic import UniformRandomTraffic\n"
+        "assert vector.JIT_REQUESTED\n"
+        "n = figure1_network(seed=11, backend='vector')\n"
+        "UniformRandomTraffic(n_endpoints=n.plan.n_endpoints,"
+        " w=n.codec.w, rate=0.02, message_words=12, seed=12).attach(n)\n"
+        "n.run(200)\n"
+        "print(n.log.receiver_deliveries)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+    )
+    assert proc.returncode == 0, proc.stderr
+    expected = _loaded_network("reference", cycles=200).log
+    assert int(proc.stdout.strip()) == expected.receiver_deliveries

@@ -14,6 +14,13 @@ statistics.  If a change is *intentional*, regenerate with::
     PYTHONPATH=src python tests/test_golden_trace.py --regen
 
 and review the fixture diff like any other code change.
+
+The same scenario is also pinned on the ``vector`` backend against its
+own fixture: the array layer's equivalence is byte-for-byte, so its
+fixture must be *identical* to the reference one — drift in the
+vectorized code shows up here without re-deriving any expectation, and
+a fixture pair that disagrees means the backends themselves split.
+``--regen`` rewrites both fixtures.
 """
 
 import hashlib
@@ -23,6 +30,10 @@ import os
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "fixtures", "golden_trace.json"
 )
+GOLDEN_VECTOR_PATH = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_trace_vector.json"
+)
+FIXTURES = {"reference": GOLDEN_PATH, "vector": GOLDEN_VECTOR_PATH}
 
 SEED = 1234
 RATE = 0.05
@@ -31,7 +42,7 @@ CYCLES = 300
 RECORDED_ENDPOINTS = 4
 
 
-def _golden_state():
+def _golden_state(backend="reference"):
     """Run the fixed scenario and distill it to comparable primitives."""
     from repro.core.random_source import derive_seed
     from repro.endpoint.traffic import UniformRandomTraffic
@@ -39,7 +50,9 @@ def _golden_state():
     from repro.network.topology import figure1_plan
     from repro.sim.waveform import WaveformRecorder
 
-    network = build_network(figure1_plan(), seed=SEED, fast_reclaim=True)
+    network = build_network(
+        figure1_plan(), seed=SEED, fast_reclaim=True, backend=backend
+    )
 
     # The injection channels of the first few endpoints, in index order.
     injection = {}
@@ -90,10 +103,14 @@ def _symbol(word):
     return symbol(word)
 
 
-def test_golden_trace_matches_fixture():
-    with open(GOLDEN_PATH) as handle:
+import pytest
+
+
+@pytest.mark.parametrize("backend", sorted(FIXTURES))
+def test_golden_trace_matches_fixture(backend):
+    with open(FIXTURES[backend]) as handle:
         golden = json.load(handle)
-    state = _golden_state()
+    state = _golden_state(backend)
     assert state["n_delivered"] > 0  # the scenario actually exercises routing
     # Per-cycle waveforms, lane by lane, so a mismatch names the lane.
     assert sorted(state["lanes"]) == sorted(golden["lanes"])
@@ -109,14 +126,25 @@ def test_golden_trace_is_reproducible_in_process():
     assert _golden_state() == _golden_state()
 
 
+def test_backend_fixtures_agree():
+    # Byte-identical backends pin byte-identical fixtures; a diff here
+    # means the committed expectations themselves have split.
+    with open(GOLDEN_PATH) as handle:
+        reference = json.load(handle)
+    with open(GOLDEN_VECTOR_PATH) as handle:
+        vector = json.load(handle)
+    assert vector == reference
+
+
 def _regen():
     os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
-    state = _golden_state()
-    with open(GOLDEN_PATH, "w") as handle:
-        json.dump(state, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    print("wrote {} ({} deliveries, checksum {})".format(
-        GOLDEN_PATH, state["n_delivered"], state["waveform_sha256"][:12]))
+    for backend, path in sorted(FIXTURES.items()):
+        state = _golden_state(backend)
+        with open(path, "w") as handle:
+            json.dump(state, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote {} ({} deliveries, checksum {})".format(
+            path, state["n_delivered"], state["waveform_sha256"][:12]))
 
 
 if __name__ == "__main__":

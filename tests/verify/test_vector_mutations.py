@@ -1,0 +1,163 @@
+"""Backend-layer seeded mutations are caught by *both* provers.
+
+Each ``VEC_*`` mutation plants a subtle bug in the vector backend's
+fast path — the kind of off-by-one or stale-cache slip a structure-of-
+arrays rewrite invites:
+
+``vector-roll-off-by-one``
+    The SoA head-kind mirror rolls one column short, so the arrays
+    disagree with the wires by one slot.
+``vector-drop-status-kind``
+    STATUS words are mirrored as empty slots, losing the reply-leading
+    kind bit from the decision layer.
+``vector-stale-ownership``
+    The cached backward-port ownership mask is not rebuilt after
+    wiring changes, so BCB fast-reclamation pulses land on ports the
+    gate no longer watches.
+``vector-skip-wake``
+    Parked components are not woken on word arrival.
+
+For every one of them this module asserts that
+
+* :func:`repro.verify.backend_diff.diff_point` reports a byte-level
+  divergence from the reference backend on a known-sensitive seeded
+  workload, and
+* the protocol :class:`~repro.verify.oracle.Oracle` records a
+  violation — a concrete rule, not merely a failed run.
+
+That is the point of the exercise: the equivalence prover must be
+demonstrably sensitive to single-site bugs in the array layer, not
+just green on correct code.  The clean-control tests pin the other
+half of the claim — with no mutation seeded, the identical workloads
+are silent.
+
+Where each mutation shows up differs, and deliberately so:
+
+* The first two and the wake skip stall or corrupt traffic directly,
+  so a random scenario under the oracle fails to drain and
+  :meth:`Oracle.check_quiescent` inventories the stuck FSMs
+  (``quiescence-leak``).
+* The stale ownership mask is the subtle one: a missed BCB pulse is
+  self-healing (the source's reply timeout tears the circuit down the
+  slow way), so drained-network checks see nothing.  It is caught in
+  the act by the ``bcb-ignored`` rule — the oracle observes the
+  pre-advance pulse and the untouched owner — on the open-ended
+  traffic workload where fast reclamation actually fires.
+"""
+
+import pytest
+
+from repro.core import mutation
+from repro.endpoint.messages import Message
+from repro.verify import attach_oracle
+from repro.verify.backend_diff import _build_traffic, diff_point
+from repro.verify.oracle import RULE_BCB_IGNORED, RULE_LEAK
+from repro.verify.scenario import random_scenario
+
+TRAFFIC_CYCLES = 2400
+
+
+def _scenario_oracle_run(seed=0, max_cycles=8000):
+    """A random scenario on the vector backend, oracle attached.
+
+    Mirrors :meth:`Scenario.run` but checks quiescence
+    unconditionally: on a run that failed to drain, the leak
+    inventory is exactly what the oracle should report.
+    """
+    scenario = random_scenario(seed=seed, n_messages=3)
+    network = scenario.build(backend="vector", verify_stage_checksums=True)
+    oracle = attach_oracle(network)
+    for message in scenario.messages:
+        network.send(
+            message["src"],
+            Message(dest=message["dest"], payload=list(message["payload"])),
+        )
+    network.run_until_quiet(max_cycles=max_cycles)
+    oracle.check_quiescent(network.engine.cycle)
+    return oracle
+
+
+def _traffic_oracle_run(seed=0):
+    """The backend-diff traffic workload on the vector backend, oracle
+    attached, driven across the same run boundaries as the differ."""
+    network, _telemetry, _ = _build_traffic(
+        seed, "vector", TRAFFIC_CYCLES, False
+    )
+    oracle = attach_oracle(network)
+    remaining = TRAFFIC_CYCLES
+    while remaining > 0:
+        span = min(remaining, max(1, TRAFFIC_CYCLES // 3))
+        network.run(span)
+        remaining -= span
+    return oracle
+
+
+#: (mutation, diff family, seed) — a seeded workload on which the
+#: backend differ observably diverges under that mutation.
+DIFF_CASES = [
+    (mutation.VEC_ROLL_OFF_BY_ONE, "scenario", 1),
+    (mutation.VEC_DROP_STATUS_KIND, "scenario", 0),
+    (mutation.VEC_STALE_OWNERSHIP, "traffic", 0),
+    (mutation.VEC_SKIP_WAKE, "scenario", 0),
+]
+
+#: (mutation, oracle harness, expected rule).
+ORACLE_CASES = [
+    (mutation.VEC_ROLL_OFF_BY_ONE, _scenario_oracle_run, RULE_LEAK),
+    (mutation.VEC_DROP_STATUS_KIND, _scenario_oracle_run, RULE_LEAK),
+    (mutation.VEC_STALE_OWNERSHIP, _traffic_oracle_run, RULE_BCB_IGNORED),
+    (mutation.VEC_SKIP_WAKE, _scenario_oracle_run, RULE_LEAK),
+]
+
+
+def test_every_backend_mutation_is_covered():
+    assert {name for name, _, _ in DIFF_CASES} == set(
+        mutation.BACKEND_MUTATIONS
+    )
+    assert {name for name, _, _ in ORACLE_CASES} == set(
+        mutation.BACKEND_MUTATIONS
+    )
+
+
+def test_backend_mutations_are_registered_but_separate():
+    # The backend layer's mutations are known to the seeding machinery
+    # but must not bleed into ALL_MUTATIONS: the reference-protocol
+    # coverage test enumerates that set exactly.
+    assert mutation.BACKEND_MUTATIONS <= mutation.KNOWN_MUTATIONS
+    assert not (mutation.BACKEND_MUTATIONS & mutation.ALL_MUTATIONS)
+    with pytest.raises(ValueError):
+        with mutation.seeded("vector-no-such-mutation"):
+            pass
+
+
+@pytest.mark.parametrize("name,kind,seed", DIFF_CASES,
+                         ids=[c[0] for c in DIFF_CASES])
+def test_backend_diff_catches_mutation(name, kind, seed):
+    with mutation.seeded(name):
+        result = diff_point(kind, seed, backend="vector")
+    assert not result.ok, (
+        "backend_diff missed mutation {!r} on {}:{}".format(name, kind, seed)
+    )
+    assert result.mismatches
+
+
+@pytest.mark.parametrize("name,run,expected_rule", ORACLE_CASES,
+                         ids=[c[0] for c in ORACLE_CASES])
+def test_oracle_catches_mutation(name, run, expected_rule):
+    with mutation.seeded(name):
+        oracle = run()
+    assert not oracle.ok, "oracle missed mutation {!r}".format(name)
+    assert expected_rule in oracle.violation_rules(), (
+        name, oracle.violation_rules())
+
+
+def test_diff_points_clean_without_mutation():
+    for kind, seed in {(kind, seed) for _, kind, seed in DIFF_CASES}:
+        result = diff_point(kind, seed, backend="vector")
+        assert result.ok, (kind, seed, result.mismatches)
+
+
+def test_oracle_workloads_clean_without_mutation():
+    for run in (_scenario_oracle_run, _traffic_oracle_run):
+        oracle = run()
+        oracle.assert_clean()
