@@ -1,0 +1,54 @@
+"""Shared benchmark recording: BENCH_*.json + append-only history.
+
+Every ``bench_*`` script calls :func:`write_bench` with its summary
+metrics.  One call produces both artifacts:
+
+* ``benchmarks/results/BENCH_<bench>.json`` — the machine-readable
+  snapshot of *this* run (rewritten every time; uploaded by CI).
+* ``benchmarks/results/history/<bench>.jsonl`` — the same record
+  appended to the cross-run history that ``metro-repro bench-check``
+  diffs for regressions.  Committed quick-mode records seed the CI
+  baseline.
+
+The record format, metric conventions (``higher_is_better``,
+``portable``) and the comparator live in
+:mod:`repro.harness.benchtrack`; this module only knows where the
+benchmarks directory keeps its files.
+"""
+
+import json
+import os
+
+from repro.harness.benchtrack import append_record, make_record, metric
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+HISTORY_DIR = os.path.join(RESULTS_DIR, "history")
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+__all__ = ["HISTORY_DIR", "QUICK", "RESULTS_DIR", "metric", "write_bench"]
+
+
+def write_bench(bench, metrics, params=None, rows=None, quick=QUICK):
+    """Record one benchmark run; returns the record.
+
+    Writes ``BENCH_<bench>.json`` and appends to the bench's history
+    file.  ``metrics`` values come from :func:`metric`.
+    """
+    record = make_record(
+        bench,
+        metrics,
+        params=params,
+        rows=rows,
+        quick=quick,
+        cwd=os.path.dirname(__file__),
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = dict(record)
+    payload["benchmark"] = bench
+    path = os.path.join(RESULTS_DIR, "BENCH_{}.json".format(bench))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    append_record(HISTORY_DIR, record)
+    return record

@@ -30,10 +30,10 @@ text report so the perf trajectory can be tracked across commits.
 """
 
 import gc
-import json
 import os
 import time
 
+from _record import metric, write_bench
 from repro.endpoint.traffic import UniformRandomTraffic
 from repro.harness.load_sweep import figure3_network
 
@@ -61,9 +61,6 @@ VECTOR_TARGETS = (
     if QUICK
     else {0.001: 4.0, 0.002: 2.0, 0.01: 1.4}
 )
-
-_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-
 
 def _measure(backend, rate):
     """Best-of-rounds seconds for MEASURE_CYCLES, plus delivery stats."""
@@ -137,20 +134,35 @@ def test_backend_speedup(report):
             )
         )
     report("\n".join(lines), name="backend_speedup")
-    payload = {
-        "benchmark": "backend_speedup",
-        "quick": QUICK,
-        "warmup_cycles": WARMUP_CYCLES,
-        "measure_cycles": MEASURE_CYCLES,
-        "rounds": ROUNDS,
-        "rows": rows,
-    }
-    os.makedirs(_RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(_RESULTS_DIR, "BENCH_backend_speedup.json"), "w"
-    ) as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    metrics = {}
+    for row in rows:
+        # Speedup ratios are machine-portable, but only the full run
+        # measures long enough to make them stable — quick-mode ratios
+        # swing ~2x run to run, so they stay out of the cross-machine
+        # (portable-only) CI comparison.  Absolute per-cycle times are
+        # local color either way.
+        metrics["events_speedup@{}".format(row["rate"])] = metric(
+            row["events_speedup"], higher_is_better=True, portable=not QUICK
+        )
+        metrics["vector_speedup@{}".format(row["rate"])] = metric(
+            row["vector_speedup"], higher_is_better=True, portable=not QUICK
+        )
+        metrics["reference_us_per_cycle@{}".format(row["rate"])] = metric(
+            row["reference_us_per_cycle"],
+            higher_is_better=False,
+            portable=False,
+        )
+    write_bench(
+        "backend_speedup",
+        metrics,
+        params={
+            "warmup_cycles": WARMUP_CYCLES,
+            "measure_cycles": MEASURE_CYCLES,
+            "rounds": ROUNDS,
+            "rates": list(RATES),
+        },
+        rows=rows,
+    )
     low = rows[0]
     assert low["events_speedup"] >= TARGET_SPEEDUP, (
         "events backend was only {:.2f}x the reference at rate {} "

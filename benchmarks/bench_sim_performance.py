@@ -8,6 +8,7 @@ loaded Figure 3 network and raw single-router tick rate.
 
 import os
 
+from _record import metric, write_bench
 from repro.core import words as W
 from repro.core.parameters import RouterParameters
 from repro.core.router import MetroRouter
@@ -38,6 +39,13 @@ def test_figure3_network_cycle_rate(benchmark, report):
         "Figure 3 network (64 endpoints, 64 routers, 512 wires), loaded:\n"
         "  {:.0f} simulated cycles/second".format(rate),
         name="sim_performance_network",
+    )
+    write_bench(
+        "sim_performance_network",
+        # Wall-clock throughput: tracked per machine, never compared
+        # across machines (portable=False keeps it out of CI's check).
+        {"cycles_per_second": metric(rate, higher_is_better=True)},
+        params={"cycles": CYCLES, "rate": 0.05},
     )
     assert rate > 200  # sanity floor
 
@@ -74,6 +82,11 @@ def test_single_router_tick_rate(benchmark, report):
             rate
         ),
         name="sim_performance_router",
+    )
+    write_bench(
+        "sim_performance_router",
+        {"router_cycles_per_second": metric(rate, higher_is_better=True)},
+        params={"radix": 8},
     )
     assert rate > 1000
 

@@ -9,13 +9,30 @@ cycles/second on the loaded Figure 3 network; see
 that budget: it times the same loaded network with telemetry absent,
 metrics-only, and metrics+spans, and asserts the disabled path stays
 within the floor the seed already enforced.
+
+The streaming exporter (:mod:`repro.telemetry.stream`) adds *no* hook
+sites — an unattached stream is zero code on the hot path, preserving
+the disabled-path guarantee by construction — so its cost is measured
+separately, with a live stream writing deltas to ``os.devnull``.
+
+Each configuration records its cycles/second to the benchmark history
+(``_record.write_bench``), plus one combined record of the relative
+overhead percentages, so ``metro-repro bench-check`` can track the
+overhead trajectory across commits on a given machine.
 """
 
+import os
+
+from _record import metric, write_bench
 from repro.endpoint.traffic import UniformRandomTraffic
 from repro.harness.load_sweep import figure3_network
-from repro.telemetry import TelemetryHub
+from repro.telemetry import TelemetryHub, TelemetryStream
 
-CYCLES = 400
+CYCLES = 150 if os.environ.get("REPRO_BENCH_QUICK") else 400
+
+#: Rates observed by the tests that ran so far this session, so the
+#: final test can record cross-configuration overhead ratios.
+_rates = {}
 
 
 def _loaded_network(telemetry=None):
@@ -32,6 +49,15 @@ def _rate(benchmark, network):
     return CYCLES / benchmark.stats["mean"]
 
 
+def _record_rate(name, rate):
+    _rates[name] = rate
+    write_bench(
+        "telemetry_overhead_{}".format(name),
+        {"cycles_per_second": metric(rate, higher_is_better=True)},
+        params={"cycles": CYCLES},
+    )
+
+
 def test_disabled_telemetry_overhead(benchmark, report):
     network = _loaded_network()
     rate = _rate(benchmark, network)
@@ -40,6 +66,7 @@ def test_disabled_telemetry_overhead(benchmark, report):
         "  {:.0f} simulated cycles/second".format(rate),
         name="telemetry_overhead_disabled",
     )
+    _record_rate("disabled", rate)
     # Same sanity floor as the seed's bench_sim_performance test: a
     # disabled-path regression past 5% would show up here long before
     # it dragged the rate below the floor.
@@ -54,7 +81,38 @@ def test_metrics_only_overhead(benchmark, report):
         "  {:.0f} simulated cycles/second".format(rate),
         name="telemetry_overhead_metrics",
     )
+    _record_rate("metrics", rate)
     assert rate > 150
+
+
+def test_stream_overhead(benchmark, report):
+    """Metrics + a live run-log stream flushing deltas to /dev/null.
+
+    The stream is an observer, not a hook site: a run without one is
+    untouched (the disabled test above is the proof), and a run *with*
+    one pays only the periodic delta serialization measured here.
+    """
+    hub = TelemetryHub(spans=False)
+    network = _loaded_network(hub)
+    with open(os.devnull, "w") as sink:
+        stream = TelemetryStream(sink, flush_every=100, window_cycles=200)
+        stream.bind(network)
+        rate = _rate(benchmark, network)
+        stream.close()
+    report(
+        "Telemetry metrics + JSONL stream (to /dev/null):\n"
+        "  {:.0f} simulated cycles/second, {} deltas".format(
+            rate, stream.deltas_written
+        ),
+        name="telemetry_overhead_stream",
+    )
+    _record_rate("stream", rate)
+    assert stream.deltas_written > 0
+    assert rate > 100
+    if "metrics" in _rates:
+        # Streaming rides the metrics configuration; the delta flush
+        # must stay a small tax on it, not a second telemetry system.
+        assert rate > 0.6 * _rates["metrics"]
 
 
 def test_full_telemetry_overhead(benchmark, report):
@@ -68,5 +126,28 @@ def test_full_telemetry_overhead(benchmark, report):
         ),
         name="telemetry_overhead_full",
     )
+    _record_rate("full", rate)
     assert rate > 100
     assert spans > 0
+    if {"disabled", "metrics", "stream"} <= set(_rates):
+        write_bench(
+            "telemetry_overhead",
+            {
+                # Overhead percentages hover near zero, where ratio
+                # thresholds amplify noise — recorded for trajectory,
+                # excluded from the cross-machine (portable) check.
+                "metrics_overhead_pct": metric(
+                    100.0 * (_rates["disabled"] / _rates["metrics"] - 1.0),
+                    higher_is_better=False,
+                ),
+                "stream_overhead_pct": metric(
+                    100.0 * (_rates["metrics"] / _rates["stream"] - 1.0),
+                    higher_is_better=False,
+                ),
+                "full_overhead_pct": metric(
+                    100.0 * (_rates["disabled"] / rate - 1.0),
+                    higher_is_better=False,
+                ),
+            },
+            params={"cycles": CYCLES},
+        )

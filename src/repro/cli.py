@@ -14,6 +14,11 @@
     python -m repro faults --levels 0:0,8:4 --max-attempts 40 --max-undeliverable 0
     python -m repro chaos --seeds 4 --compare --workers 4
     python -m repro chaos --seeds 2 --min-availability 0.8 --snapshot chaos.json
+    python -m repro chaos --seeds 2 --stream chaos-logs --stall-cycles 2000
+    python -m repro tail chaos-logs/soak0-healon.jsonl
+    python -m repro tail chaos-logs/soak0-healon.jsonl --follow
+    python -m repro figure3 --metrics-export metrics.json
+    python -m repro bench-check --portable-only --threshold 0.5
     python -m repro saturation --workers 4
     python -m repro send 5 15 --network figure1
     python -m repro figure3 --backend events
@@ -29,6 +34,14 @@ degrades past ``--max-degradation`` / abandons more than
 service-level bounds, ``saturation`` when no saturation point is
 found, ``verify`` on any simulator-vs-model mismatch or protocol
 violation.
+
+``chaos --stream`` writes one JSONL run log per live soak
+(``metro-run-log-v1``: periodic metrics deltas, per-window SLO stats,
+fault transitions, watchdog stalls); ``tail`` renders a log —
+finished or still being written (``--follow``).  ``bench-check``
+compares the newest record in each ``benchmarks/results/history/*.jsonl``
+file against its trailing-median baseline and exits nonzero on a
+regression past ``--threshold`` (see ``docs/observability.md``).
 
 ``--workers N`` fans a sweep's independent trials across N worker
 processes; results are bit-identical to a serial run for the same
@@ -83,6 +96,33 @@ def _print_metrics(results):
             merged, title="Metrics: mean backward-port utilization by stage"
         )
     )
+
+
+def _export_metrics(results, path):
+    """Dump the merged MetricsSnapshot of a sweep as JSON.
+
+    The document carries the snapshot twice: ``series`` is the
+    lossless wire encoding (``repro.telemetry.stream`` round-trips it
+    back into a :class:`MetricsSnapshot`), ``rendered`` the
+    human-oriented summaries ``as_dict`` produces.
+    """
+    import json
+
+    from repro.telemetry import MetricsSnapshot
+    from repro.telemetry.stream import snapshot_to_jsonable
+
+    merged = MetricsSnapshot.merge_all(
+        r.metrics for r in results if r.metrics is not None
+    )
+    document = {
+        "format": "metro-metrics-v1",
+        "series": snapshot_to_jsonable(merged),
+        "rendered": merged.as_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote metrics snapshot to {}".format(path))
 
 
 def _report_runner_stats(runner):
@@ -165,7 +205,7 @@ def _cmd_figure3(args):
         measure_cycles=args.measure,
         runner=runner,
     )
-    if args.metrics:
+    if args.metrics or args.metrics_export:
         sweep_kwargs["metrics"] = True
     if args.backend != "reference":
         sweep_kwargs["backend"] = args.backend
@@ -190,6 +230,8 @@ def _cmd_figure3(args):
     )
     if args.metrics:
         _print_metrics(results)
+    if args.metrics_export:
+        _export_metrics(results, args.metrics_export)
     return 0
 
 
@@ -215,7 +257,7 @@ def _cmd_faults(args):
             measure_cycles=args.measure,
             runner=runner,
         )
-        if args.metrics:
+        if args.metrics or args.metrics_export:
             sweep_kwargs["metrics"] = True
         if args.max_attempts is not None:
             sweep_kwargs["max_attempts"] = args.max_attempts
@@ -231,6 +273,8 @@ def _cmd_faults(args):
         )
         if args.metrics:
             _print_metrics(results)
+        if args.metrics_export:
+            _export_metrics(results, args.metrics_export)
         status = 0
         if any(r.delivered_count == 0 for r in results):
             print("FAIL: a fault level delivered no messages", file=sys.stderr)
@@ -270,13 +314,15 @@ def _cmd_faults(args):
         seed=args.seed,
         warmup_cycles=args.warmup,
         measure_cycles=args.measure,
-        metrics=args.metrics,
+        metrics=args.metrics or bool(args.metrics_export),
         max_attempts=args.max_attempts,
         backend=args.backend,
     )
     print(format_table([result.as_dict()], title="Fault degradation point"))
     if args.metrics:
         _print_metrics([result])
+    if args.metrics_export:
+        _export_metrics([result], args.metrics_export)
     if result.delivered_count == 0:
         print("FAIL: faulted network delivered no messages", file=sys.stderr)
         return 1
@@ -290,7 +336,12 @@ def _cmd_chaos(args):
     if args.resume:
         from repro.harness.chaos import resume_chaos_point
 
-        result = resume_chaos_point(args.resume, backend=args.backend)
+        result = resume_chaos_point(
+            args.resume,
+            backend=args.backend,
+            stream_path=args.stream,
+            stall_cycles=args.stall_cycles,
+        )
         print("resumed interrupted soak from {}".format(args.resume))
         results = [result]
     else:
@@ -308,6 +359,10 @@ def _cmd_chaos(args):
                 return 2
             sweep_kwargs["snapshot_every"] = args.snapshot_every
             sweep_kwargs["snapshot_dir"] = args.snapshot_dir
+        if args.stream:
+            sweep_kwargs["stream_dir"] = args.stream
+        if args.stall_cycles is not None:
+            sweep_kwargs["stall_cycles"] = args.stall_cycles
         results = chaos_sweep(
             seeds=args.seeds,
             seed=args.seed,
@@ -320,7 +375,10 @@ def _cmd_chaos(args):
             mtbf=args.mtbf,
             mttr=args.mttr,
             rate=args.rate,
-            metrics=args.metrics or bool(args.snapshot),
+            metrics=args.metrics
+            or bool(args.snapshot)
+            or bool(args.stream)
+            or bool(args.metrics_export),
             oracle=args.oracle,
             runner=runner,
             **sweep_kwargs
@@ -382,6 +440,22 @@ def _cmd_chaos(args):
         with open(args.snapshot, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
         print("wrote soak snapshot to {}".format(args.snapshot))
+    if args.metrics_export:
+        _export_metrics(results, args.metrics_export)
+    for result in results:
+        for stall in result.stalls:
+            print(
+                "WARNING: {} stalled at cycle {}: no progress for {} "
+                "cycles with {} message(s) pending ({} quiescence "
+                "violation(s) diagnosed)".format(
+                    result.label,
+                    stall["cycle"],
+                    stall["stalled_cycles"],
+                    stall["pending"],
+                    len(stall["violations"]),
+                ),
+                file=sys.stderr,
+            )
     status = 0
     if any(r.oracle_violations for r in results):
         for result in results:
@@ -437,7 +511,7 @@ def _cmd_saturation(args):
     saturated, results = find_saturation(
         seed=args.seed,
         measure_cycles=args.measure,
-        metrics=args.metrics,
+        metrics=args.metrics or bool(args.metrics_export),
         backend=args.backend,
         runner=runner,
     )
@@ -457,6 +531,8 @@ def _cmd_saturation(args):
     )
     if args.metrics:
         _print_metrics(results)
+    if args.metrics_export:
+        _export_metrics(results, args.metrics_export)
     if saturated.delivered_load <= 0:
         print("FAIL: network carried no traffic at any rate", file=sys.stderr)
         return 1
@@ -633,6 +709,232 @@ def _cmd_verify(args):
     return 1
 
 
+def _format_stream_event(event):
+    """One `tail --follow` line for a run-log event (None = silent).
+
+    Deltas are deliberately silent in follow mode — they are transport,
+    not narrative; the summary rendering folds them into percentiles.
+    """
+    kind = event.get("event")
+    cycle = event.get("cycle")
+    if kind == "run.start":
+        return "run.start  flush every {} cycles, window {} cycles".format(
+            event.get("flush_every"), event.get("window_cycles")
+        )
+    if kind == "window.stats":
+        p50 = event.get("p50_latency")
+        p99 = event.get("p99_latency")
+        return (
+            "window {:>4} @{:<8} delivered={:<6} p50={} p99={}".format(
+                event.get("window"),
+                cycle,
+                event.get("delivered"),
+                "-" if p50 is None else p50,
+                "-" if p99 is None else p99,
+            )
+        )
+    if kind == "fault.transition":
+        return "fault       @{:<8} {:<8} {}".format(
+            cycle, event.get("action"), event.get("fault")
+        )
+    if kind == "watchdog.stall":
+        return (
+            "STALL       @{:<8} no progress for {} cycles, {} pending, "
+            "{} violation(s)".format(
+                cycle,
+                event.get("stalled_cycles"),
+                event.get("pending"),
+                len(event.get("violations", [])),
+            )
+        )
+    if kind == "snapshot.write":
+        return "checkpoint  @{:<8} {}".format(cycle, event.get("path"))
+    if kind == "run.end":
+        return "run.end     @{:<8} {} delta(s)".format(
+            cycle, event.get("deltas")
+        )
+    return None
+
+
+def _render_run_log(events, last=12):
+    """Summary rendering of a whole (possibly still-growing) run log."""
+    from repro.harness.reporting import (
+        format_percentiles,
+        format_table,
+        sparkline,
+    )
+    from repro.telemetry.stream import merge_stream_metrics
+
+    kinds = {}
+    for event in events:
+        kinds.setdefault(event.get("event"), []).append(event)
+
+    start = events[0]
+    line = "run log: {} event(s), flush every {} cycles".format(
+        len(events), start.get("flush_every")
+    )
+    if start.get("window_cycles"):
+        line += ", window {} cycles".format(start.get("window_cycles"))
+    print(line)
+    meta = start.get("meta") or {}
+    if meta:
+        print(
+            "  meta: "
+            + ", ".join(
+                "{}={}".format(key, meta[key]) for key in sorted(meta)
+            )
+        )
+
+    windows = kinds.get("window.stats", [])
+    if windows:
+        print()
+        print(
+            "delivered/window: {}".format(
+                sparkline([w.get("delivered", 0) for w in windows], lo=0)
+            )
+        )
+        rows = [
+            {
+                "window": w.get("window"),
+                "cycles": "{}..{}".format(
+                    w.get("start_cycle"), w.get("end_cycle")
+                ),
+                "delivered": w.get("delivered"),
+                "p50": w.get("p50_latency"),
+                "p95": w.get("p95_latency"),
+                "p99": w.get("p99_latency"),
+            }
+            for w in windows[-last:]
+        ]
+        title = (
+            "last {} of {} windows".format(len(rows), len(windows))
+            if len(windows) > len(rows)
+            else "windows"
+        )
+        print(format_table(rows, title=title))
+
+    faults = kinds.get("fault.transition", [])
+    if faults:
+        print()
+        print("fault transitions: {}".format(len(faults)))
+        for event in faults[-last:]:
+            print("  " + _format_stream_event(event))
+
+    for event in kinds.get("watchdog.stall", []):
+        print()
+        print(_format_stream_event(event))
+        for violation in event.get("violations", [])[:5]:
+            print(
+                "    {} port={} [{}] {}".format(
+                    violation.get("component"),
+                    violation.get("port"),
+                    violation.get("rule"),
+                    violation.get("detail"),
+                )
+            )
+
+    snapshots = kinds.get("snapshot.write", [])
+    if snapshots:
+        print()
+        print(
+            "checkpoints: {} (latest {})".format(
+                len(snapshots), snapshots[-1].get("path")
+            )
+        )
+
+    merged = merge_stream_metrics(events)
+    if len(merged):
+        print()
+        print(
+            format_percentiles(
+                merged,
+                ["message.latency.cycles", "message.attempts"],
+                title="metrics ({} delta(s) merged)".format(
+                    len(kinds.get("metrics.delta", []))
+                ),
+            )
+        )
+
+    print()
+    ends = kinds.get("run.end", [])
+    if ends:
+        summary = ends[-1].get("summary") or {}
+        line = "run ended at cycle {}".format(ends[-1].get("cycle"))
+        if summary:
+            line += ": " + ", ".join(
+                "{}={}".format(key, summary[key]) for key in sorted(summary)
+            )
+        print(line)
+    else:
+        print("run in progress (no run.end yet)")
+
+
+def _cmd_tail(args):
+    from repro.telemetry.stream import read_run_log, validate_run_log
+
+    def load():
+        events = read_run_log(args.run_log)
+        validate_run_log(events)
+        return events
+
+    try:
+        events = load()
+    except (OSError, ValueError) as exc:
+        print("tail: {}".format(exc), file=sys.stderr)
+        return 2
+    if not args.follow:
+        _render_run_log(events, last=args.last)
+        return 0
+
+    import time
+
+    printed = 0
+    try:
+        while True:
+            for event in events[printed:]:
+                line = _format_stream_event(event)
+                if line:
+                    print(line, flush=True)
+            printed = len(events)
+            if events and events[-1].get("event") == "run.end":
+                return 0
+            time.sleep(args.interval)
+            try:
+                events = load()
+            except (OSError, ValueError) as exc:
+                print("tail: {}".format(exc), file=sys.stderr)
+                return 2
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_bench_check(args):
+    from repro.harness.benchtrack import check_history_dir
+
+    try:
+        regressions, lines = check_history_dir(
+            args.history_dir,
+            benches=args.bench or None,
+            threshold=args.threshold,
+            window=args.window,
+            min_history=args.min_history,
+            portable_only=args.portable_only,
+        )
+    except FileNotFoundError as exc:
+        print("bench-check: {}".format(exc), file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            "bench-check: {} metric(s) regressed past the {:.0%} "
+            "threshold".format(len(regressions), args.threshold),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -668,6 +970,11 @@ def build_parser():
         "latency/occupancy percentiles plus a per-stage utilization "
         "heatmap (identical for serial and parallel runs)"
     )
+    export_help = (
+        "write the sweep's merged metrics snapshot to FILE as JSON "
+        "(metro-metrics-v1: a lossless 'series' encoding plus rendered "
+        "summaries); implies metrics collection"
+    )
 
     def add_backend(command):
         command.add_argument(
@@ -685,6 +992,9 @@ def build_parser():
     fig3.add_argument("--warmup", type=int, default=600)
     fig3.add_argument("--measure", type=int, default=2500)
     fig3.add_argument("--metrics", action="store_true", help=metrics_help)
+    fig3.add_argument(
+        "--metrics-export", default=None, metavar="FILE", help=export_help
+    )
     add_backend(fig3)
 
     faults = sub.add_parser("faults", help="fault-degradation point")
@@ -723,6 +1033,9 @@ def build_parser():
         "than N messages (retry-budget exhaustion)",
     )
     faults.add_argument("--metrics", action="store_true", help=metrics_help)
+    faults.add_argument(
+        "--metrics-export", default=None, metavar="FILE", help=export_help
+    )
     add_backend(faults)
 
     chaos = sub.add_parser(
@@ -792,7 +1105,25 @@ def build_parser():
         help="write soak summaries + merged telemetry metrics as JSON "
         "(the chaos-smoke CI artifact)",
     )
+    chaos.add_argument(
+        "--stream", default=None, metavar="PATH",
+        help="stream live JSONL run logs (metro-run-log-v1: metrics "
+        "deltas, window stats, fault transitions, watchdog stalls): "
+        "PATH is a directory holding one log per soak for a sweep, or "
+        "the log file for the resumed leg with --resume; implies "
+        "--metrics and attaches a run-health watchdog (render with "
+        "'repro tail')",
+    )
+    chaos.add_argument(
+        "--stall-cycles", type=int, default=None, metavar="N",
+        help="watchdog threshold: flag a soak making no delivery "
+        "progress for N cycles while messages are pending (defaults "
+        "to 5 windows when --stream or a heartbeat file is active)",
+    )
     chaos.add_argument("--metrics", action="store_true", help=metrics_help)
+    chaos.add_argument(
+        "--metrics-export", default=None, metavar="FILE", help=export_help
+    )
     add_backend(chaos)
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
@@ -800,7 +1131,64 @@ def build_parser():
     saturation.add_argument(
         "--metrics", action="store_true", help=metrics_help
     )
+    saturation.add_argument(
+        "--metrics-export", default=None, metavar="FILE", help=export_help
+    )
     add_backend(saturation)
+
+    tail = sub.add_parser(
+        "tail",
+        help="render a streamed JSONL run log (finished or live)",
+    )
+    tail.add_argument("run_log", metavar="RUNLOG")
+    tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="poll the log and print new windows/faults/stalls as "
+        "they are appended, until run.end (Ctrl-C to stop)",
+    )
+    tail.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="--follow poll interval",
+    )
+    tail.add_argument(
+        "--last", type=int, default=12, metavar="N",
+        help="window/fault rows shown in the summary tables",
+    )
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="flag benchmark regressions against the recorded history",
+    )
+    bench_check.add_argument(
+        "--history-dir",
+        default="benchmarks/results/history",
+        metavar="DIR",
+        help="benchmark history directory (<bench>.jsonl, appended by "
+        "every bench run)",
+    )
+    bench_check.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        help="check only the named benchmark (repeatable; default all "
+        "with history)",
+    )
+    bench_check.add_argument(
+        "--threshold", type=float, default=0.3, metavar="FRACTION",
+        help="fractional worsening vs the trailing-median baseline "
+        "that counts as a regression",
+    )
+    bench_check.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline is the median of the last N prior records",
+    )
+    bench_check.add_argument(
+        "--min-history", type=int, default=2, metavar="N",
+        help="prior records required before a metric is compared at all",
+    )
+    bench_check.add_argument(
+        "--portable-only", action="store_true",
+        help="compare only machine-portable metrics (the CI mode: "
+        "committed history spans machines)",
+    )
 
     sub.add_parser("breakdown", help="latency decomposition by message size")
 
@@ -883,6 +1271,8 @@ _COMMANDS = {
     "saturation": _cmd_saturation,
     "send": _cmd_send,
     "verify": _cmd_verify,
+    "tail": _cmd_tail,
+    "bench-check": _cmd_bench_check,
 }
 
 

@@ -48,6 +48,9 @@ class ChaosResult:
     #: MetricsSnapshot when the soak ran with telemetry, else None
     #: (class attribute so old pickles still answer ``.metrics``).
     metrics = None
+    #: Stall diagnoses (plain dicts) when the soak ran with a
+    #: watchdog, else empty (class attribute for old pickles).
+    stalls = ()
 
     def __init__(
         self,
@@ -161,6 +164,7 @@ class ChaosResult:
             "masked_wires": len(self.mask_events),
             "fault_events": [list(e) for e in self.fault_events],
             "oracle_violations": self.oracle_violations,
+            "stalls": len(self.stalls),
         }
 
     def __repr__(self):
@@ -201,6 +205,8 @@ def run_chaos_point(
     snapshot_every=None,
     snapshot_dir=None,
     snapshot_keep=3,
+    stream_path=None,
+    stall_cycles=None,
 ):
     """One chaos soak: seeded transient + hard faults, optional healing.
 
@@ -226,6 +232,18 @@ def run_chaos_point(
     never changes the result: snapshot capture does not perturb the
     live graph, and run-boundary placement is proven transparent by
     :mod:`repro.verify.resume_diff`.
+
+    ``stream_path`` attaches a
+    :class:`~repro.telemetry.stream.TelemetryStream` writing the
+    soak's live JSONL run log (metric deltas when ``metrics=True``,
+    window stats, fault transitions, snapshot-ring writes, stall
+    diagnoses) — see ``docs/observability.md``.  ``stall_cycles``
+    attaches a :class:`~repro.telemetry.watchdog.RunWatchdog` (also
+    attached implicitly when streaming, with a default window of five
+    soak windows, or when the parallel runner requests heartbeats via
+    ``REPRO_HEARTBEAT_FILE``).  Neither observer perturbs the
+    simulation — a streamed soak's :class:`ChaosResult` scores
+    byte-identically to an unstreamed one.
     """
     if fault_start is None:
         fault_start = warmup_windows * window_cycles
@@ -316,11 +334,21 @@ def run_chaos_point(
         telemetry,
         meta,
         snapshot_dir=snapshot_dir,
+        stream_path=stream_path,
+        stall_cycles=stall_cycles,
     )
 
 
 def _finish_soak(
-    network, injector, manager, watcher, telemetry, meta, snapshot_dir=None
+    network,
+    injector,
+    manager,
+    watcher,
+    telemetry,
+    meta,
+    snapshot_dir=None,
+    stream_path=None,
+    stall_cycles=None,
 ):
     """Run a (possibly resumed) soak to completion and score it.
 
@@ -333,6 +361,36 @@ def _finish_soak(
     snapshot_every = meta.get("snapshot_every")
     engine = network.engine
     target = meta["n_windows"] * window_cycles
+
+    stream = None
+    if stream_path is not None:
+        from repro.telemetry.stream import TelemetryStream
+
+        stream = TelemetryStream(
+            stream_path,
+            flush_every=window_cycles,
+            window_cycles=window_cycles,
+            meta=dict(meta),
+        )
+        stream.bind(network, injector=injector)
+    from repro.telemetry.watchdog import RunWatchdog, heartbeat_path_from_env
+
+    # A resumed soak restores its previous watchdog with the engine
+    # observers; reuse it rather than stacking a second one.
+    watchdog = next(
+        (o for o in engine.observers if isinstance(o, RunWatchdog)), None
+    )
+    if watchdog is not None:
+        if stream is not None:
+            watchdog.sink = stream
+    elif stall_cycles is not None or stream is not None or heartbeat_path_from_env():
+        watchdog = RunWatchdog(
+            stall_cycles=stall_cycles or 5 * window_cycles,
+            heartbeat_every=window_cycles,
+            sink=stream,
+        )
+        watchdog.bind(network)
+
     span = None
     next_snap = None
     if snapshot_every:
@@ -347,7 +405,7 @@ def _finish_soak(
             manager.service()
         if next_snap is not None and engine.cycle >= next_snap:
             if engine.cycle < target:
-                _write_ring_snapshot(
+                path = _write_ring_snapshot(
                     network,
                     injector,
                     manager,
@@ -356,6 +414,8 @@ def _finish_soak(
                     meta,
                     snapshot_dir,
                 )
+                if stream is not None:
+                    stream.notify_snapshot(path, cycle=engine.cycle)
             next_snap = (engine.cycle // span + 1) * span
 
     from repro.endpoint import messages as M
@@ -401,6 +461,22 @@ def _finish_soak(
         registry.gauge("chaos.degraded_windows").set(result.degraded_windows)
         registry.gauge("chaos.masked_wires").set(len(result.mask_events))
         result.metrics = telemetry.snapshot()
+    if watchdog is not None:
+        result.stalls = [stall.as_dict() for stall in watchdog.stalls]
+    if stream is not None:
+        # Closed after the final gauges above, so the run log's merged
+        # deltas reproduce ``result.metrics`` exactly.
+        stream.close(
+            summary={
+                "label": result.label,
+                "availability": result.availability,
+                "mttr_cycles": result.mttr_cycles,
+                "undeliverable": result.undeliverable,
+                "masked_wires": len(result.mask_events),
+                "windows": len(result.windows),
+                "stalls": len(result.stalls),
+            }
+        )
     return result
 
 
@@ -468,7 +544,9 @@ def _write_ring_snapshot(
     return path
 
 
-def resume_chaos_point(snapshot_dir, backend=None):
+def resume_chaos_point(
+    snapshot_dir, backend=None, stream_path=None, stall_cycles=None
+):
     """Finish a soak from its newest intact ring checkpoint.
 
     Walks the ring newest-first, skipping entries that are corrupt or
@@ -480,6 +558,11 @@ def resume_chaos_point(snapshot_dir, backend=None):
     :param backend: engine backend to resume under; None keeps the
         backend the soak was checkpointed under (snapshots are
         backend-portable, so switching is allowed).
+    :param stream_path: run-log path for the resumed leg.  A stream
+        restored with the checkpoint is inert (its file handle does
+        not survive pickling), so a resumed soak streams only when
+        given a fresh path — appended, never truncated, so the two
+        legs form one log.
     """
     from repro.sim.snapshot import Snapshot, SnapshotFormatError, restore_network
 
@@ -508,6 +591,8 @@ def resume_chaos_point(snapshot_dir, backend=None):
             extras["telemetry"],
             snap.meta,
             snapshot_dir=snapshot_dir,
+            stream_path=stream_path,
+            stall_cycles=stall_cycles,
         )
     raise SnapshotFormatError(
         "no usable chaos snapshot in {!r}:\n  {}".format(
@@ -532,9 +617,16 @@ def chaos_trial_specs(
     gets its own ring subdirectory (``soak<i>-heal<on|off>/``) so
     concurrent soaks never clobber each other's checkpoints; resume a
     specific soak by pointing :func:`resume_chaos_point` at its
-    subdirectory.
+    subdirectory.  Likewise ``stream_dir`` gives each soak its own
+    run log (``soak<i>-heal<on|off>.jsonl``).  Note that run logs and
+    checkpoints are side effects outside the trial-cache key's view of
+    a result: a cache-hit trial returns its cached
+    :class:`ChaosResult` without re-writing them.
     """
     snapshot_dir = kwargs.pop("snapshot_dir", None)
+    stream_dir = kwargs.pop("stream_dir", None)
+    if stream_dir is not None:
+        os.makedirs(stream_dir, exist_ok=True)
     specs = []
     for index in range(seeds):
         for heal in self_heal:
@@ -543,6 +635,13 @@ def chaos_trial_specs(
                 params["snapshot_dir"] = os.path.join(
                     snapshot_dir,
                     "soak{}-heal{}".format(index, "on" if heal else "off"),
+                )
+            if stream_dir is not None:
+                params["stream_path"] = os.path.join(
+                    stream_dir,
+                    "soak{}-heal{}.jsonl".format(
+                        index, "on" if heal else "off"
+                    ),
                 )
             specs.append(
                 TrialSpec(

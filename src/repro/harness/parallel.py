@@ -31,12 +31,16 @@ benchmarking cache behaviour itself).  See ``docs/parallel.md``.
 import hashlib
 import importlib
 import json
+import logging
 import multiprocessing
 import os
 import pickle
 import tempfile
 import time
 
+from repro.telemetry.watchdog import HEARTBEAT_ENV, read_heartbeat
+
+logger = logging.getLogger(__name__)
 
 #: Sentinel for a cache lookup that found nothing.
 CACHE_MISS = object()
@@ -46,8 +50,15 @@ class TrialTimeoutError(RuntimeError):
     """A worker trial exceeded the runner's wall-clock timeout.
 
     The pool is terminated before this is raised, so a stuck trial
-    never leaves orphaned workers behind.
+    never leaves orphaned workers behind.  When the runner was given a
+    ``heartbeat_dir``, :attr:`heartbeat` carries the hung trial's last
+    liveness heartbeat (cycle, delivered count, stall flag) so the
+    failure names where the run got to instead of timing out silently.
     """
+
+    def __init__(self, message, heartbeat=None):
+        super().__init__(message)
+        self.heartbeat = heartbeat
 
 
 # ---------------------------------------------------------------------------
@@ -165,14 +176,30 @@ class TrialSpec:
         return "<TrialSpec {} seed={}>".format(self.label, self.seed)
 
 
-def execute_trial(spec):
+def execute_trial(spec, heartbeat_path=None):
     """Run one spec; returns ``(result, elapsed_seconds)``.
 
     Module-level so worker processes can unpickle references to it.
+    ``heartbeat_path`` exports :data:`~repro.telemetry.watchdog
+    .HEARTBEAT_ENV` for the duration of the trial, so any harness that
+    attaches a :class:`~repro.telemetry.watchdog.RunWatchdog` writes
+    liveness heartbeats there (restored afterwards — worker processes
+    run many trials back to back).
     """
     start = time.perf_counter()
     runner = spec.resolve_runner()
-    result = runner(seed=spec.seed, **spec.params)
+    if heartbeat_path is None:
+        result = runner(seed=spec.seed, **spec.params)
+    else:
+        previous = os.environ.get(HEARTBEAT_ENV)
+        os.environ[HEARTBEAT_ENV] = heartbeat_path
+        try:
+            result = runner(seed=spec.seed, **spec.params)
+        finally:
+            if previous is None:
+                os.environ.pop(HEARTBEAT_ENV, None)
+            else:
+                os.environ[HEARTBEAT_ENV] = previous
     return result, time.perf_counter() - start
 
 
@@ -282,22 +309,37 @@ class TrialCache:
 class TrialEvent:
     """One progress report: trial ``index`` of ``total`` finished.
 
-    ``source`` is ``"executed"`` or ``"cache"``; ``seconds`` is the
-    trial's own wall-clock time (0.0 for cache hits).
+    ``source`` is ``"executed"``, ``"cache"``, or ``"timeout"`` (the
+    trial was killed at the runner's wall-clock limit).  ``seconds``
+    is the trial's own compute time (0.0 for cache hits);
+    ``duration`` is wall-clock from submission to completion as the
+    runner saw it, including pool queueing — on a saturated pool
+    ``duration >> seconds`` means the trial *waited*, not that it was
+    slow.  ``heartbeat`` is the hung trial's last liveness heartbeat
+    dict on timeout events, else None.
     """
 
-    __slots__ = ("index", "total", "label", "seconds", "source")
+    __slots__ = ("index", "total", "label", "seconds", "source", "duration", "heartbeat")
 
-    def __init__(self, index, total, label, seconds, source):
+    def __init__(
+        self, index, total, label, seconds, source,
+        duration=None, heartbeat=None,
+    ):
         self.index = index
         self.total = total
         self.label = label
         self.seconds = seconds
         self.source = source
+        self.duration = seconds if duration is None else duration
+        self.heartbeat = heartbeat
 
     @property
     def cached(self):
         return self.source == "cache"
+
+    @property
+    def timed_out(self):
+        return self.source == "timeout"
 
     def __repr__(self):
         return "<TrialEvent {}/{} {} {}>".format(
@@ -341,6 +383,13 @@ class TrialRunner:
         :class:`TrialTimeoutError`.  (Serial trials are bounded by the
         engine's own deadline guard instead.)
     :param start_method: multiprocessing start method override.
+    :param heartbeat_dir: directory for per-trial liveness heartbeats
+        (``trial-<index>.json``); each trial runs with
+        :data:`~repro.telemetry.watchdog.HEARTBEAT_ENV` pointing at
+        its own file, and a timed-out trial's last heartbeat is
+        surfaced on the warning event and the raised
+        :class:`TrialTimeoutError` instead of being lost with the
+        killed worker.
     """
 
     def __init__(
@@ -350,12 +399,14 @@ class TrialRunner:
         progress=None,
         trial_timeout=None,
         start_method=None,
+        heartbeat_dir=None,
     ):
         self.workers = max(1, int(workers))
         self.cache = TrialCache(cache_dir) if cache_dir else None
         self.progress = progress
         self.trial_timeout = trial_timeout
         self.start_method = start_method
+        self.heartbeat_dir = heartbeat_dir
         self.stats = TrialStats()
 
     # -- public API ------------------------------------------------------
@@ -401,18 +452,35 @@ class TrialRunner:
         if self.progress is not None:
             self.progress(event)
 
-    def _finish(self, index, total, spec, result, elapsed, keys):
+    def _finish(self, index, total, spec, result, elapsed, keys, duration=None):
         self.stats.executed += 1
         self.stats.seconds += elapsed
         if self.cache is not None and index in keys:
             self.cache.put(keys[index], result)
-        self._emit(TrialEvent(index, total, spec.label, elapsed, "executed"))
+        self._emit(
+            TrialEvent(
+                index, total, spec.label, elapsed, "executed",
+                duration=duration,
+            )
+        )
+
+    def _heartbeat_path(self, index):
+        if self.heartbeat_dir is None:
+            return None
+        os.makedirs(self.heartbeat_dir, exist_ok=True)
+        return os.path.join(self.heartbeat_dir, "trial-{}.json".format(index))
 
     def _run_serial(self, specs, pending, results, keys, total):
         for index in pending:
-            result, elapsed = execute_trial(specs[index])
+            started = time.perf_counter()
+            result, elapsed = execute_trial(
+                specs[index], heartbeat_path=self._heartbeat_path(index)
+            )
             results[index] = result
-            self._finish(index, total, specs[index], result, elapsed, keys)
+            self._finish(
+                index, total, specs[index], result, elapsed, keys,
+                duration=time.perf_counter() - started,
+            )
 
     def _run_pool(self, specs, pending, results, keys, total):
         for index in pending:
@@ -429,8 +497,16 @@ class TrialRunner:
         )
         pool = context.Pool(processes=min(self.workers, len(pending)))
         try:
+            submitted = time.perf_counter()
             handles = [
-                (index, pool.apply_async(execute_trial, (specs[index],)))
+                (
+                    index,
+                    pool.apply_async(
+                        execute_trial,
+                        (specs[index],),
+                        {"heartbeat_path": self._heartbeat_path(index)},
+                    ),
+                )
                 for index in pending
             ]
             for index, handle in handles:
@@ -438,19 +514,62 @@ class TrialRunner:
                     result, elapsed = handle.get(timeout=self.trial_timeout)
                 except multiprocessing.TimeoutError:
                     pool.terminate()
-                    raise TrialTimeoutError(
-                        "trial {!r} exceeded the {}s wall-clock "
-                        "timeout".format(specs[index].label, self.trial_timeout)
-                    )
+                    self._timeout(index, total, specs[index], submitted)
                 results[index] = result
-                self._finish(index, total, specs[index], result, elapsed, keys)
+                self._finish(
+                    index, total, specs[index], result, elapsed, keys,
+                    duration=time.perf_counter() - submitted,
+                )
         finally:
             pool.terminate()
             pool.join()
 
+    def _timeout(self, index, total, spec, submitted):
+        """Report a hung trial loudly, then raise.
+
+        The killed worker cannot tell us anything, but its last
+        liveness heartbeat (if the trial ran with one) names the cycle
+        the run got to — the difference between "the soak wedged at
+        cycle 8400 with 3 sends pending" and a silent timeout.
+        """
+        heartbeat = None
+        path = self._heartbeat_path(index)
+        if path is not None:
+            heartbeat = read_heartbeat(path)
+        detail = (
+            "last heartbeat at cycle {} ({} finished{})".format(
+                heartbeat.get("cycle"),
+                heartbeat.get("delivered"),
+                ", stalled" if heartbeat.get("stalled") else "",
+            )
+            if heartbeat
+            else "no heartbeat recorded"
+        )
+        message = "trial {!r} exceeded the {}s wall-clock timeout ({})".format(
+            spec.label, self.trial_timeout, detail
+        )
+        logger.warning(message)
+        self._emit(
+            TrialEvent(
+                index,
+                total,
+                spec.label,
+                self.trial_timeout,
+                "timeout",
+                duration=time.perf_counter() - submitted,
+                heartbeat=heartbeat,
+            )
+        )
+        raise TrialTimeoutError(message, heartbeat=heartbeat)
+
 
 def run_trials(
-    specs, workers=1, cache_dir=None, progress=None, trial_timeout=None
+    specs,
+    workers=1,
+    cache_dir=None,
+    progress=None,
+    trial_timeout=None,
+    heartbeat_dir=None,
 ):
     """One-shot convenience: build a :class:`TrialRunner` and run."""
     runner = TrialRunner(
@@ -458,5 +577,6 @@ def run_trials(
         cache_dir=cache_dir,
         progress=progress,
         trial_timeout=trial_timeout,
+        heartbeat_dir=heartbeat_dir,
     )
     return runner.run(specs)

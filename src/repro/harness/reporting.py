@@ -18,11 +18,25 @@ from repro.telemetry.metrics import bucket_bounds
 def format_trial_event(event):
     """One progress line for a :class:`~repro.harness.parallel.TrialEvent`.
 
-    ``[ 3/8] rate=0.01                 2.13s`` (or ``cached`` for a
-    trial served from the result cache).
+    ``[ 3/8] rate=0.01                 2.13s`` (``cached`` for a trial
+    served from the result cache).  When pool queueing made the trial
+    wait well past its own compute time, the wall-clock duration is
+    appended; a timed-out trial shows ``TIMEOUT`` plus its last
+    liveness heartbeat, if the worker wrote one.
     """
     width = len(str(event.total))
-    timing = "cached" if event.cached else "{:.2f}s".format(event.seconds)
+    if event.cached:
+        timing = "cached"
+    elif event.timed_out:
+        timing = "TIMEOUT after {:.0f}s".format(event.duration)
+        if event.heartbeat:
+            timing += " (last heartbeat @cycle {})".format(
+                event.heartbeat.get("cycle")
+            )
+    else:
+        timing = "{:.2f}s".format(event.seconds)
+        if event.duration > event.seconds * 1.5 + 0.1:
+            timing += " ({:.2f}s wall)".format(event.duration)
     return "[{:>{w}}/{}] {:<28} {}".format(
         event.index + 1, event.total, event.label, timing, w=width
     )

@@ -363,19 +363,31 @@ class EventEngine(Engine):
 
         Compression requires proof that *nothing at all* can happen
         until the target: no words in flight, no component active or
-        freshly woken, no observers (they sample every cycle), and
-        every remaining event source — POLL components and pre-cycle
-        hooks — able to name its next event cycle.
+        freshly woken, and every remaining event source — POLL
+        components, pre-cycle hooks, and observers — able to name its
+        next event cycle.  Observers sample every cycle by default, so
+        any observer without a ``next_event_cycle`` hint (the oracle,
+        the telemetry hub) vetoes compression outright; observers that
+        only act at known boundaries (the telemetry stream, the run
+        watchdog) provide the hint and ride along compression-free.
         """
         if (
             not self._compressible
             or self.degraded
-            or self.observers
             or self._hot
             or self._woken
         ):
             return None
         nearest = NEVER
+        for observer in self.observers:
+            probe = getattr(observer, "next_event_cycle", None)
+            if probe is None:
+                return None
+            nxt = probe()
+            if nxt is None:
+                return None
+            if nxt < nearest:
+                nearest = nxt
         states = self._states
         for component in self.components:
             state = states[component]

@@ -493,12 +493,21 @@ class VectorEngine(EventEngine):
         if (
             not self._compressible
             or self.degraded
-            or self.observers
             or self._hot
             or self._woken
         ):
             return None
         nearest = NEVER
+        # Observer hint protocol — see EventEngine._compression_target.
+        for observer in self.observers:
+            probe = getattr(observer, "next_event_cycle", None)
+            if probe is None:
+                return None
+            nxt = probe()
+            if nxt is None:
+                return None
+            if nxt < nearest:
+                nearest = nxt
         state_arr = self._state_arr
         comp_list = self._comp_list
         for idx in self._run_list:

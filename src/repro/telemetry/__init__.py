@@ -13,6 +13,15 @@ Three layers, composable and individually optional:
 * **Profiler** (:mod:`repro.telemetry.profiler`) — per-component-class
   tick time, cycles/second and allocation deltas for the simulator
   itself.
+* **Streaming** (:mod:`repro.telemetry.stream`) — a
+  :class:`TelemetryStream` observer writing live JSONL run logs
+  (metric deltas, SLO-window stats, fault transitions, lifecycle)
+  whose merged deltas exactly reproduce the end-of-run snapshot.
+* **Watchdog** (:mod:`repro.telemetry.watchdog`) — a
+  :class:`RunWatchdog` observer detecting stalled/livelocked runs via
+  delivered-message progress, diagnosing them with the oracle's
+  quiescence inventory, and writing liveness heartbeats for parallel
+  trial workers.
 
 The :class:`TelemetryHub` ties the first two to a live network; when
 no hub is bound, components carry :data:`NULL_TELEMETRY` and the
@@ -30,6 +39,25 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.profiler import ProfileReport, SimProfiler, profile_engine
 from repro.telemetry.spans import Span, SpanRecorder, validate_trace_events
+from repro.telemetry.stream import (
+    STREAM_FORMAT,
+    TelemetryStream,
+    attach_stream,
+    merge_stream_metrics,
+    read_run_log,
+    snapshot_from_jsonable,
+    snapshot_to_jsonable,
+    validate_run_log,
+)
+from repro.telemetry.watchdog import (
+    HEARTBEAT_ENV,
+    RunWatchdog,
+    Stall,
+    attach_watchdog,
+    heartbeat_path_from_env,
+    read_heartbeat,
+    write_heartbeat,
+)
 
 __all__ = [
     "NULL_TELEMETRY",
@@ -46,4 +74,19 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "validate_trace_events",
+    "STREAM_FORMAT",
+    "TelemetryStream",
+    "attach_stream",
+    "merge_stream_metrics",
+    "read_run_log",
+    "snapshot_from_jsonable",
+    "snapshot_to_jsonable",
+    "validate_run_log",
+    "HEARTBEAT_ENV",
+    "RunWatchdog",
+    "Stall",
+    "attach_watchdog",
+    "heartbeat_path_from_env",
+    "read_heartbeat",
+    "write_heartbeat",
 ]

@@ -286,6 +286,73 @@ class MetricsSnapshot:
                 merged = merged.merge(snapshot)
         return merged
 
+    def delta_since(self, earlier):
+        """The change from ``earlier`` to this snapshot, as a snapshot.
+
+        The defining property is exact reconstruction: folding a run's
+        successive deltas in order with :meth:`merge` rebuilds the
+        final snapshot *equal by* ``==`` — which is what lets a
+        streaming exporter (:mod:`repro.telemetry.stream`) emit
+        periodic deltas whose merge is byte-identical to the
+        end-of-run snapshot.  Per kind:
+
+        * counters: the difference (omitted when zero — merging an
+          implicit zero is a no-op);
+        * gauges: the current value with the update-count difference
+          (omitted when unsampled since ``earlier``);
+        * histograms: count/total/bucket differences plus the
+          *cumulative* min/max (mins/maxes only tighten under merge,
+          so carrying the running extremes reproduces them exactly).
+
+        Exactness holds for integer-valued observations (every
+        instrument in the simulator observes cycle counts or event
+        tallies, exact in float arithmetic); pathological non-integer
+        floats could reassociate differently.
+
+        Series absent from ``earlier`` are copied whole.  ``earlier``
+        must be a previous snapshot of the same registry — instruments
+        are never removed, so every earlier series must still exist.
+        """
+        series = {}
+        for key, (kind, data) in self.series.items():
+            old = earlier.series.get(key)
+            if old is None:
+                series[key] = (kind, _copy_data(kind, data))
+                continue
+            if old[0] != kind:
+                raise ValueError(
+                    "cannot delta {} against {} for {!r}".format(
+                        kind, old[0], key
+                    )
+                )
+            if kind == "counter":
+                diff = data - old[1]
+                if diff:
+                    series[key] = (kind, diff)
+            elif kind == "gauge":
+                updates_diff = data[1] - old[1][1]
+                if updates_diff:
+                    series[key] = (kind, (data[0], updates_diff))
+            else:
+                if data["count"] == old[1]["count"]:
+                    continue
+                buckets = {}
+                for index, count in data["buckets"].items():
+                    diff = count - old[1]["buckets"].get(index, 0)
+                    if diff:
+                        buckets[index] = diff
+                series[key] = (
+                    kind,
+                    {
+                        "count": data["count"] - old[1]["count"],
+                        "total": data["total"] - old[1]["total"],
+                        "low": data["low"],
+                        "high": data["high"],
+                        "buckets": buckets,
+                    },
+                )
+        return MetricsSnapshot(series)
+
     # -- queries ---------------------------------------------------------
 
     def names(self):

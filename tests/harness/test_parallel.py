@@ -328,3 +328,77 @@ def test_worker_exception_propagates():
                      params=dict(rate="not-a-rate"), seed=0)
     with pytest.raises(Exception):
         runner.run([spec])
+
+
+def _heartbeating_sleepy_trial(seconds, seed=0):
+    from repro.telemetry.watchdog import (
+        heartbeat_path_from_env,
+        write_heartbeat,
+    )
+
+    path = heartbeat_path_from_env()
+    if path:
+        write_heartbeat(path, cycle=4242, delivered=17)
+    time.sleep(seconds)
+    return seed
+
+
+def test_trial_event_duration_defaults_to_seconds():
+    from repro.harness.parallel import TrialEvent
+
+    event = TrialEvent(0, 1, "t", 2.5, "executed")
+    assert event.duration == 2.5
+    assert not event.timed_out
+    timed = TrialEvent(0, 1, "t", 1.0, "timeout", duration=3.0)
+    assert timed.timed_out and timed.duration == 3.0
+
+
+def test_timeout_logs_warning_and_surfaces_heartbeat(tmp_path, caplog):
+    events = []
+    runner = TrialRunner(
+        workers=2,
+        trial_timeout=1.5,
+        heartbeat_dir=str(tmp_path),
+        progress=events.append,
+    )
+    spec = TrialSpec(
+        __name__ + ":_heartbeating_sleepy_trial",
+        params=dict(seconds=30),
+        label="sleeper",
+    )
+    with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+        with pytest.raises(TrialTimeoutError) as excinfo:
+            runner.run([spec])
+    # The hung trial's last liveness heartbeat rides the exception...
+    assert excinfo.value.heartbeat["cycle"] == 4242
+    assert "cycle 4242" in str(excinfo.value)
+    # ...is logged as a warning rather than vanishing silently...
+    assert any("sleeper" in r.message for r in caplog.records)
+    # ...and fires a progress event marked as the timeout it was.
+    assert len(events) == 1
+    assert events[0].timed_out
+    assert events[0].heartbeat["cycle"] == 4242
+    assert events[0].duration >= 1.5
+
+
+def test_timeout_without_heartbeat_reports_none_recorded(caplog):
+    runner = TrialRunner(workers=2, trial_timeout=0.25)
+    spec = TrialSpec(__name__ + ":_sleepy_trial", params=dict(seconds=30),
+                     label="sleeper")
+    with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+        with pytest.raises(TrialTimeoutError) as excinfo:
+            runner.run([spec])
+    assert excinfo.value.heartbeat is None
+    assert "no heartbeat recorded" in str(excinfo.value)
+
+
+def test_serial_events_carry_wall_durations(tmp_path):
+    events = []
+    runner = TrialRunner(workers=1, progress=events.append)
+    specs = [
+        TrialSpec(__name__ + ":_echo_trial", params=dict(value=v), seed=v)
+        for v in range(2)
+    ]
+    runner.run(specs)
+    assert all(e.duration >= e.seconds for e in events)
+    assert all(e.heartbeat is None for e in events)

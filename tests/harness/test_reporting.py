@@ -178,3 +178,30 @@ def test_format_stage_heatmap_without_samples():
     assert format_stage_heatmap(MetricsRegistry().snapshot()) == (
         "(no utilization samples)"
     )
+
+
+def test_format_trial_event_timeout_with_heartbeat():
+    event = TrialEvent(
+        0, 4, "soak0", 30.0, "timeout",
+        duration=31.5, heartbeat={"cycle": 4200, "delivered": 17},
+    )
+    line = format_trial_event(event)
+    assert "TIMEOUT after 32s" in line
+    assert "last heartbeat @cycle 4200" in line
+
+
+def test_format_trial_event_timeout_without_heartbeat():
+    event = TrialEvent(0, 4, "soak0", 30.0, "timeout", duration=30.0)
+    line = format_trial_event(event)
+    assert "TIMEOUT" in line
+    assert "heartbeat" not in line
+
+
+def test_format_trial_event_shows_queueing_wall_time():
+    event = TrialEvent(0, 4, "rate=0.01", 1.0, "executed", duration=9.0)
+    line = format_trial_event(event)
+    assert "1.00s" in line
+    assert "(9.00s wall)" in line
+    # ...but not when the wall clock tracked the compute time.
+    quick = TrialEvent(0, 4, "rate=0.01", 1.0, "executed", duration=1.1)
+    assert "wall" not in format_trial_event(quick)

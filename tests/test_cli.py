@@ -346,3 +346,114 @@ def test_verify_saves_artifacts_on_mismatch(tmp_path, capsys, monkeypatch):
     assert "MISMATCH" in captured.out
     assert (tmp_path / "diff-fail-0.json").exists()
     assert (tmp_path / "diff-fail-0.min.json").exists()
+
+
+CHAOS_SMALL = [
+    "chaos", "--seeds", "1", "--windows", "4", "--window-cycles", "150",
+    "--warmup-windows", "1", "--mtbf", "300", "--mttr", "150",
+]
+
+
+def test_chaos_stream_writes_log_and_tail_renders_it(tmp_path, capsys):
+    logs = tmp_path / "logs"
+    out = _run(capsys, CHAOS_SMALL + ["--stream", str(logs)])
+    assert "Chaos soak" in out
+    log_path = logs / "soak0-healon.jsonl"
+    assert log_path.exists()
+
+    from repro.telemetry import (
+        merge_stream_metrics, read_run_log, validate_run_log,
+    )
+
+    events = read_run_log(str(log_path))
+    assert validate_run_log(events) == len(events)
+    # --stream implies metrics, so the log carries deltas.
+    assert len(merge_stream_metrics(events))
+
+    rendered = _run(capsys, ["tail", str(log_path)])
+    assert "delivered/window:" in rendered
+    assert "run ended at cycle" in rendered
+
+
+def test_tail_follow_replays_a_finished_log(tmp_path, capsys):
+    logs = tmp_path / "logs"
+    _run(capsys, CHAOS_SMALL + ["--stream", str(logs)])
+    out = _run(
+        capsys,
+        ["tail", str(logs / "soak0-healon.jsonl"), "--follow",
+         "--interval", "0.01"],
+    )
+    assert "run.start" in out
+    assert "window" in out
+    assert "run.end" in out
+
+
+def test_tail_rejects_missing_and_invalid_logs(tmp_path, capsys):
+    assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"event": "not-a-run-start"}\n')
+    assert main(["tail", str(bad)]) == 2
+    assert "tail:" in capsys.readouterr().err
+
+
+def test_figure3_metrics_export_round_trips(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    out = _run(
+        capsys,
+        ["figure3", "--rates", "0.01", "--warmup", "100", "--measure",
+         "300", "--metrics-export", str(path)],
+    )
+    assert "wrote metrics snapshot" in out
+
+    import json
+
+    from repro.telemetry import snapshot_from_jsonable
+
+    document = json.loads(path.read_text())
+    assert document["format"] == "metro-metrics-v1"
+    snapshot = snapshot_from_jsonable(document["series"])
+    assert snapshot.histogram("message.latency.cycles").count > 0
+    assert document["rendered"]
+
+
+def test_bench_check_flags_seeded_slowdown(tmp_path, capsys):
+    from repro.harness.benchtrack import append_record, make_record, metric
+
+    history = str(tmp_path)
+    for value in (100.0, 102.0, 98.0, 49.0):
+        append_record(
+            history,
+            make_record("demo", {"speed": metric(value, portable=True)}),
+        )
+    code = main(["bench-check", "--history-dir", history])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "REGRESSION demo/speed" in captured.out
+    assert "regressed" in captured.err
+
+    # The same history passes with a tolerant threshold...
+    assert main(
+        ["bench-check", "--history-dir", history, "--threshold", "5.0"]
+    ) == 0
+    assert "ok" in capsys.readouterr().out
+    # ...and a missing directory is a usage error, not a regression.
+    assert main(
+        ["bench-check", "--history-dir", str(tmp_path / "nope")]
+    ) == 2
+
+
+def test_bench_check_portable_only_skips_local_metrics(tmp_path, capsys):
+    from repro.harness.benchtrack import append_record, make_record, metric
+
+    history = str(tmp_path)
+    for value in (100.0, 102.0, 98.0, 49.0):
+        append_record(
+            history,
+            make_record(
+                "demo", {"wall_rate": metric(value, portable=False)}
+            ),
+        )
+    assert main(
+        ["bench-check", "--history-dir", history, "--portable-only"]
+    ) == 0
+    assert "insufficient history" in capsys.readouterr().out
