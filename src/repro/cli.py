@@ -15,6 +15,10 @@
     python -m repro chaos --seeds 4 --compare --workers 4
     python -m repro chaos --seeds 2 --min-availability 0.8 --snapshot chaos.json
     python -m repro chaos --seeds 2 --stream chaos-logs --stall-cycles 2000
+    python -m repro chaos --seeds 4 --journal run.jsonl --cache-dir .cache
+    python -m repro chaos --resume run.jsonl --cache-dir .cache
+    python -m repro figure3 --retries 3 --quarantine --journal run.jsonl
+    python -m repro tail run.jsonl
     python -m repro tail chaos-logs/soak0-healon.jsonl
     python -m repro tail chaos-logs/soak0-healon.jsonl --follow
     python -m repro figure3 --metrics-export metrics.json
@@ -51,21 +55,53 @@ runs a simulation command on the event-driven engine backend — same
 results, faster at low load (see ``docs/API.md`` and
 ``repro.sim.backends``); ``verify --backend-diff`` checks that claim
 end to end.
+
+The sweep commands (``figure3``/``faults``/``chaos``/``saturation``)
+also take resilience flags (see ``docs/resilience.md``): ``--journal``
+writes a durable run journal, ``--resume <journal>`` finishes a killed
+sweep byte-identically, ``--retries``/``--quarantine`` retry crashed
+or hung trials and quarantine poison ones.  Exit codes are consistent
+across commands: 0 success, 1 a result gate failed (SLO, degradation,
+verification), 2 usage/input error, 3 the sweep completed but
+quarantined trials (structured failure report on stderr), 130
+interrupted by SIGINT/SIGTERM (journal flushed for resume).
 """
 
 import argparse
+import os
 import sys
 
 
-def _runner(args):
-    """The shared TrialRunner configured by --workers/--cache-dir."""
+def _runner(args, resume_partial=None):
+    """The shared TrialRunner configured by --workers/--cache-dir.
+
+    The resilience flags ride along when the subcommand defines them:
+    ``--journal`` (durable run journal), ``--resume`` (replay a
+    journal so finished trials are served from the cache instead of
+    re-running), ``--retries`` (per-trial attempt budget with
+    exponential backoff on recycled workers) and ``--quarantine``
+    (poison trials become structured reports instead of killing the
+    sweep).  A ``--resume`` pointing at a *directory* is the chaos
+    snapshot-ring form, handled by the chaos command itself.
+    """
     from repro.harness.parallel import TrialRunner
     from repro.harness.reporting import progress_printer
 
+    resume_from = getattr(args, "resume", None)
+    if resume_from and os.path.isdir(resume_from):
+        resume_from = None
+    journal = getattr(args, "journal", None) or resume_from
     return TrialRunner(
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=progress_printer() if args.progress else None,
+        journal=journal,
+        retries=getattr(args, "retries", None),
+        on_exhausted=(
+            "quarantine" if getattr(args, "quarantine", False) else None
+        ),
+        resume_from=resume_from,
+        resume_partial=resume_partial,
     )
 
 
@@ -126,6 +162,8 @@ def _export_metrics(results, path):
 
 
 def _report_runner_stats(runner):
+    if runner.journal is not None:
+        runner.journal.close()
     if runner.stats.executed or runner.stats.cached:
         print(
             "trials: {} executed ({:.1f}s), {} from cache".format(
@@ -133,6 +171,31 @@ def _report_runner_stats(runner):
             ),
             file=sys.stderr,
         )
+
+
+def _strip_quarantined(results):
+    """Split results, printing the structured failure report.
+
+    Returns ``(ok_results, status)`` where status is 3 (the dedicated
+    exit code) when any trial was quarantined, else 0.  Downstream
+    tables/metrics render the ok results only — a
+    :class:`~repro.harness.parallel.QuarantinedTrial` has no
+    latencies to plot, just the report printed here.
+    """
+    from repro.harness.parallel import partition_quarantined
+    from repro.harness.reporting import format_quarantine_report
+
+    ok, quarantined = partition_quarantined(results)
+    if not quarantined:
+        return ok, 0
+    print()
+    print(format_quarantine_report(quarantined))
+    print(
+        "FAIL: {} trial(s) quarantined after exhausting their attempt "
+        "budget".format(len(quarantined)),
+        file=sys.stderr,
+    )
+    return ok, 3
 
 
 def _cmd_table3(args):
@@ -211,6 +274,10 @@ def _cmd_figure3(args):
         sweep_kwargs["backend"] = args.backend
     results = figure3_sweep(**sweep_kwargs)
     _report_runner_stats(runner)
+    results, status = _strip_quarantined(results)
+    if not results:
+        print("FAIL: every trial was quarantined", file=sys.stderr)
+        return status or 1
     print(
         format_series(
             results_to_series(results),
@@ -232,7 +299,7 @@ def _cmd_figure3(args):
         _print_metrics(results)
     if args.metrics_export:
         _export_metrics(results, args.metrics_export)
-    return 0
+    return status
 
 
 def _cmd_faults(args):
@@ -265,6 +332,10 @@ def _cmd_faults(args):
             sweep_kwargs["backend"] = args.backend
         results = fault_degradation_sweep(**sweep_kwargs)
         _report_runner_stats(runner)
+        results, status = _strip_quarantined(results)
+        if not results:
+            print("FAIL: every fault level was quarantined", file=sys.stderr)
+            return status or 1
         print(
             format_table(
                 [r.as_dict() for r in results],
@@ -275,10 +346,9 @@ def _cmd_faults(args):
             _print_metrics(results)
         if args.metrics_export:
             _export_metrics(results, args.metrics_export)
-        status = 0
         if any(r.delivered_count == 0 for r in results):
             print("FAIL: a fault level delivered no messages", file=sys.stderr)
-            status = 1
+            status = status or 1
         for result, floor in degradation_failures(
             results,
             max_degradation=args.max_degradation,
@@ -305,7 +375,7 @@ def _cmd_faults(args):
                     ),
                     file=sys.stderr,
                 )
-            status = 1
+            status = status or 1
         return status
     result = run_fault_point(
         n_dead_links=args.links,
@@ -333,7 +403,9 @@ def _cmd_chaos(args):
     from repro.harness.chaos import chaos_slo_failures, chaos_sweep
     from repro.harness.reporting import format_table, sparkline
 
-    if args.resume:
+    ring_resume = bool(args.resume) and os.path.isdir(args.resume)
+    status = 0
+    if ring_resume:
         from repro.harness.chaos import resume_chaos_point
 
         result = resume_chaos_point(
@@ -345,8 +417,23 @@ def _cmd_chaos(args):
         print("resumed interrupted soak from {}".format(args.resume))
         results = [result]
     else:
+        resume_partial = None
+        if args.resume:
+            from repro.harness.chaos import chaos_journal_partial
+
+            resume_partial = chaos_journal_partial(
+                backend=(
+                    args.backend if args.backend != "reference" else None
+                ),
+                stall_cycles=args.stall_cycles,
+            )
+            print(
+                "resuming interrupted sweep from journal {}".format(
+                    args.resume
+                )
+            )
         heal_modes = (True, False) if args.compare else (True,)
-        runner = _runner(args)
+        runner = _runner(args, resume_partial=resume_partial)
         sweep_kwargs = {}
         if args.backend != "reference":
             sweep_kwargs["backend"] = args.backend
@@ -384,6 +471,10 @@ def _cmd_chaos(args):
             **sweep_kwargs
         )
         _report_runner_stats(runner)
+        results, status = _strip_quarantined(results)
+        if not results:
+            print("FAIL: every soak was quarantined", file=sys.stderr)
+            return status or 1
     rows = []
     for result in results:
         row = result.as_dict()
@@ -393,7 +484,7 @@ def _cmd_chaos(args):
         del row["fault_events"]
         del row["seed"]
         rows.append(row)
-    if args.resume:
+    if ring_resume:
         title = "Chaos soak: resumed, {} windows x {} cycles".format(
             len(results[0].windows), results[0].window_cycles
         )
@@ -456,7 +547,6 @@ def _cmd_chaos(args):
                 ),
                 file=sys.stderr,
             )
-    status = 0
     if any(r.oracle_violations for r in results):
         for result in results:
             if result.oracle_violations:
@@ -465,7 +555,7 @@ def _cmd_chaos(args):
                     "oracle".format(result.label, result.oracle_violations),
                     file=sys.stderr,
                 )
-        status = 1
+        status = status or 1
     healed = [r for r in results if r.self_heal]
     for result, reason in chaos_slo_failures(
         healed,
@@ -475,7 +565,7 @@ def _cmd_chaos(args):
     ):
         print("FAIL: {} violated SLO: {}".format(result.label, reason),
               file=sys.stderr)
-        status = 1
+        status = status or 1
     return status
 
 
@@ -753,6 +843,46 @@ def _format_stream_event(event):
         return "run.end     @{:<8} {} delta(s)".format(
             cycle, event.get("deltas")
         )
+    if kind == "journal.start":
+        return "journal.start ({}, pid {})".format(
+            event.get("format"), event.get("pid")
+        )
+    if kind == "sweep.start":
+        return "sweep.start {} trial(s), {} worker(s)".format(
+            event.get("total"), event.get("workers")
+        )
+    if kind == "trial.start":
+        return "trial       [{}] {} attempt {} on worker {}".format(
+            event.get("index"), event.get("label"),
+            event.get("attempt"), event.get("worker"),
+        )
+    if kind == "trial.done":
+        elapsed = event.get("elapsed")
+        return "trial done  [{}] {} ({}{})".format(
+            event.get("index"), event.get("label"), event.get("source"),
+            "" if elapsed is None else ", {:.2f}s".format(elapsed),
+        )
+    if kind == "trial.failed":
+        return "trial FAIL  [{}] {} attempt {}: {} ({})".format(
+            event.get("index"), event.get("label"), event.get("attempt"),
+            event.get("kind"), event.get("detail"),
+        )
+    if kind == "trial.quarantined":
+        return "QUARANTINE  [{}] {}".format(
+            event.get("index"), event.get("label")
+        )
+    if kind == "sweep.end":
+        return (
+            "sweep.end   {} trial(s): {} executed, {} cached, "
+            "{} quarantined".format(
+                event.get("total"), event.get("executed"),
+                event.get("cached"), event.get("quarantined"),
+            )
+        )
+    if kind == "sweep.interrupted":
+        return "INTERRUPT   {} — journal flushed, resume with --resume".format(
+            event.get("signal") or event.get("signum")
+        )
     return None
 
 
@@ -869,12 +999,81 @@ def _render_run_log(events, last=12):
         print("run in progress (no run.end yet)")
 
 
+def _render_journal(events, last=12):
+    """Summary rendering of a run journal (see docs/resilience.md)."""
+    from repro.harness.journal import replay_journal
+    from repro.harness.parallel import QuarantinedTrial
+    from repro.harness.reporting import format_quarantine_report, format_table
+
+    state = replay_journal(events)
+    print("run journal: {} event(s); {}".format(len(events), state.describe()))
+
+    rows = []
+    for event in events:
+        kind = event.get("event")
+        if kind == "trial.done":
+            detail = event.get("source")
+            elapsed = event.get("elapsed")
+            if elapsed is not None:
+                detail = "{} ({:.2f}s)".format(detail, elapsed)
+        elif kind == "trial.failed":
+            detail = "{}: {}".format(
+                event.get("kind"), (event.get("detail") or "")[:40]
+            )
+        elif kind == "trial.quarantined":
+            detail = "attempt budget exhausted"
+        else:
+            continue
+        rows.append(
+            {
+                "trial": event.get("label"),
+                "event": kind.split(".", 1)[1],
+                "attempt": event.get("attempt", "-"),
+                "detail": detail,
+            }
+        )
+    if rows:
+        shown = rows[-last:]
+        title = (
+            "last {} of {} trial event(s)".format(len(shown), len(rows))
+            if len(rows) > len(shown)
+            else "trial events"
+        )
+        print()
+        print(format_table(shown, title=title))
+
+    if state.quarantined:
+        reports = [
+            QuarantinedTrial.from_dict(report)
+            for report in state.quarantined.values()
+        ]
+        print()
+        print(format_quarantine_report(reports))
+
+    print()
+    if state.interrupted:
+        print(
+            "sweep interrupted by {} (finish it with --resume)".format(
+                state.interrupted
+            )
+        )
+    elif state.completed:
+        print("sweep completed")
+    else:
+        print("sweep in progress (no sweep.end yet)")
+
+
 def _cmd_tail(args):
     from repro.telemetry.stream import read_run_log, validate_run_log
 
     def load():
         events = read_run_log(args.run_log)
-        validate_run_log(events)
+        if events and events[0].get("event") == "journal.start":
+            from repro.harness.journal import validate_journal
+
+            validate_journal(events)
+        else:
+            validate_run_log(events)
         return events
 
     try:
@@ -883,7 +1082,10 @@ def _cmd_tail(args):
         print("tail: {}".format(exc), file=sys.stderr)
         return 2
     if not args.follow:
-        _render_run_log(events, last=args.last)
+        if events and events[0].get("event") == "journal.start":
+            _render_journal(events, last=args.last)
+        else:
+            _render_run_log(events, last=args.last)
         return 0
 
     import time
@@ -896,7 +1098,7 @@ def _cmd_tail(args):
                 if line:
                     print(line, flush=True)
             printed = len(events)
-            if events and events[-1].get("event") == "run.end":
+            if events and events[-1].get("event") in ("run.end", "sweep.end"):
                 return 0
             time.sleep(args.interval)
             try:
@@ -987,6 +1189,38 @@ def build_parser():
             "saturated loads (see docs/API.md)",
         )
 
+    def add_resilience(command, resume=True, quarantine=True):
+        command.add_argument(
+            "--journal", default=None, metavar="FILE",
+            help="write a durable run journal (metro-run-journal-v1, "
+            "append-only JSONL, fsynced per record) of every trial "
+            "state transition; a killed sweep finishes with --resume "
+            "FILE (see docs/resilience.md; render with 'repro tail')",
+        )
+        if resume:
+            command.add_argument(
+                "--resume", default=None, metavar="JOURNAL",
+                help="replay a run journal: finished trials are served "
+                "from the --cache-dir trial cache (content-hash "
+                "verified), only unfinished trials re-execute, and the "
+                "resumed leg appends to the same journal — "
+                "byte-identical to an uninterrupted run",
+            )
+        command.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="per-trial attempt budget with exponential backoff: "
+            "a trial whose worker crashes (SIGKILL/OOM), times out, or "
+            "raises is retried on a recycled worker up to N attempts "
+            "(default 1 = fail fast)",
+        )
+        if quarantine:
+            command.add_argument(
+                "--quarantine", action="store_true",
+                help="after the --retries budget, quarantine a poison "
+                "trial (structured failure report, exit code 3) so the "
+                "rest of the sweep still completes",
+            )
+
     fig3 = sub.add_parser("figure3", help="Figure 3 latency/load sweep")
     fig3.add_argument("--rates", default="0.002,0.01,0.04,0.16")
     fig3.add_argument("--warmup", type=int, default=600)
@@ -996,6 +1230,7 @@ def build_parser():
         "--metrics-export", default=None, metavar="FILE", help=export_help
     )
     add_backend(fig3)
+    add_resilience(fig3)
 
     faults = sub.add_parser("faults", help="fault-degradation point")
     faults.add_argument("--links", type=int, default=8)
@@ -1037,6 +1272,7 @@ def build_parser():
         "--metrics-export", default=None, metavar="FILE", help=export_help
     )
     add_backend(faults)
+    add_resilience(faults)
 
     chaos = sub.add_parser(
         "chaos",
@@ -1095,10 +1331,12 @@ def build_parser():
         help="directory for the --snapshot-every checkpoint rings",
     )
     chaos.add_argument(
-        "--resume", default=None, metavar="DIR",
-        help="resume one interrupted soak from its checkpoint ring "
-        "(a soak subdirectory of a --snapshot-dir) instead of starting "
-        "a sweep; restores onto --backend and finishes the soak",
+        "--resume", default=None, metavar="PATH",
+        help="resume interrupted work: a run-journal FILE (from "
+        "--journal) resumes the whole sweep — finished soaks come "
+        "from the trial cache, mid-flight soaks from their checkpoint "
+        "rings; a soak's ring DIR (a subdirectory of a "
+        "--snapshot-dir) resumes that one soak directly",
     )
     chaos.add_argument(
         "--snapshot", default=None, metavar="FILE",
@@ -1125,6 +1363,7 @@ def build_parser():
         "--metrics-export", default=None, metavar="FILE", help=export_help
     )
     add_backend(chaos)
+    add_resilience(chaos, resume=False)
 
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)
@@ -1135,6 +1374,9 @@ def build_parser():
         "--metrics-export", default=None, metavar="FILE", help=export_help
     )
     add_backend(saturation)
+    # No --quarantine: the saturation search reads delivered_load off
+    # every probed point, which a quarantine report cannot provide.
+    add_resilience(saturation, quarantine=False)
 
     tail = sub.add_parser(
         "tail",
@@ -1278,7 +1520,17 @@ _COMMANDS = {
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from repro.harness.parallel import SweepInterrupted
+
+    try:
+        return _COMMANDS[args.command](args)
+    except SweepInterrupted as exc:
+        print(
+            "interrupted: {} — the journal is flushed; finish the "
+            "sweep with --resume".format(exc),
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ result is a pure function of the final message log and fault
 histories, all of which ride the snapshot.
 """
 
+import logging
 import os
 import random
 
@@ -36,6 +37,8 @@ from repro.faults.manager import FaultManager
 from repro.faults.model import DeadRouter
 from repro.harness.load_sweep import figure1_network
 from repro.harness.parallel import TrialRunner, TrialSpec
+
+logger = logging.getLogger(__name__)
 
 
 class ChaosResult:
@@ -599,6 +602,54 @@ def resume_chaos_point(
             snapshot_dir, "\n  ".join(errors)
         )
     )
+
+
+def chaos_journal_partial(backend=None, stall_cycles=None):
+    """``partial`` hook finishing mid-flight soaks from their snapshot rings.
+
+    Journal-based resume (``repro chaos --resume <journal>``) serves
+    *finished* trials from the content-hash cache; a soak the journal
+    shows mid-flight has no cached result, but — when checkpointing
+    was on — it does have a per-soak snapshot ring.  The returned
+    callable plugs into :func:`repro.harness.journal.resume_sweep`
+    (or ``TrialRunner(resume_partial=...)``) and finishes such a soak
+    via :func:`resume_chaos_point`, falling back to a full re-run (by
+    returning None) whenever the ring is missing, unusable, or the
+    recovered result's seed does not match the spec — recovery must
+    never substitute the wrong soak.
+    """
+
+    def partial(index, spec, state):
+        ring_dir = spec.params.get("snapshot_dir")
+        if not ring_dir or not os.path.isdir(ring_dir):
+            return None
+        try:
+            result = resume_chaos_point(
+                ring_dir,
+                backend=backend,
+                stream_path=spec.params.get("stream_path"),
+                stall_cycles=stall_cycles,
+            )
+        except Exception as error:
+            logger.warning(
+                "resume: could not finish mid-flight soak %r from its "
+                "snapshot ring (%s); re-executing", spec.label, error,
+            )
+            return None
+        if result.seed != spec.seed:
+            logger.warning(
+                "resume: snapshot ring %r holds seed %r, spec %r wants "
+                "seed %r; re-executing", ring_dir, result.seed,
+                spec.label, spec.seed,
+            )
+            return None
+        logger.info(
+            "resume: finished mid-flight soak %r from its snapshot ring",
+            spec.label,
+        )
+        return result
+
+    return partial
 
 
 def chaos_trial_specs(

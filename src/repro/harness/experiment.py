@@ -19,6 +19,13 @@ class ExperimentResult:
     #: cache entries) still answer ``result.metrics``.
     metrics = None
 
+    #: Real results are never quarantine reports; the counterpart
+    #: (:class:`~repro.harness.parallel.QuarantinedTrial`) carries
+    #: True, so sweep consumers can branch on ``result.quarantined``
+    #: uniformly.  Class attribute for the same old-pickle reason as
+    #: ``metrics``.
+    quarantined = False
+
     def __init__(
         self,
         label,
@@ -129,6 +136,19 @@ class ExperimentResult:
         tally.
         """
         return self.abandoned_count
+
+    def content_hash(self):
+        """The identity a run journal records for this result.
+
+        Delegates to
+        :func:`~repro.harness.parallel.result_content_hash` (sha256
+        over the canonical pickle), so a cached result can be checked
+        against its ``trial.done`` journal record without re-deriving
+        the hashing convention.
+        """
+        from repro.harness.parallel import result_content_hash
+
+        return result_content_hash(self)
 
     def as_dict(self):
         return {

@@ -1,0 +1,431 @@
+"""Durable write-ahead run journal: crash-safe sweeps, kill-resume.
+
+A sweep that dies forty hours into a chaos soak should cost the time
+of the *unfinished* trials, not the whole campaign.  The
+:class:`RunJournal` is the durability half of that promise: a
+:class:`~repro.harness.parallel.TrialRunner` given one appends a JSONL
+record — flushed *and* fsynced before the runner proceeds — for every
+trial state transition:
+
+* ``journal.start`` — file header carrying :data:`JOURNAL_FORMAT`;
+* ``sweep.start`` — the sweep's full trial manifest (index, stable
+  key, label, seed per trial) plus runner configuration;
+* ``trial.queued`` / ``trial.start`` / ``trial.done`` /
+  ``trial.failed`` / ``trial.quarantined`` — per-trial lifecycle,
+  where ``trial.done`` carries the result's content hash
+  (:func:`~repro.harness.parallel.result_content_hash`) and
+  ``trial.failed`` one attempt's failure kind/detail/exit code;
+* ``sweep.end`` / ``sweep.interrupted`` — how the sweep stopped.
+
+Trial identity is :func:`~repro.harness.parallel.journal_trial_key`:
+the spec's cache fingerprint when cacheable (journal and trial cache
+agree on identity), else a label key.  That makes resume a pure
+replay: :func:`resume_sweep` reads the journal (torn final lines are
+tolerated, exactly like
+:func:`repro.telemetry.stream.read_run_log` — a crash mid-append
+never poisons the file), reconstructs each trial's last known state
+(:func:`replay_journal`), serves every finished trial from the trial
+cache *after verifying its content hash matches what the journal
+recorded*, carries quarantine reports over, and re-executes only what
+never finished.  Because every trial is a pure function of its spec,
+the merged results are byte-identical to an uninterrupted run — the
+kill-resume proof in ``tests/harness/test_journal.py`` pins this on
+both the dense and events backends.
+
+See ``docs/resilience.md`` for the format and the operational
+workflow (``--journal`` / ``--resume`` on the sweep CLIs).
+"""
+
+import json
+import logging
+import os
+import time
+
+from repro.harness.parallel import (
+    CACHE_MISS,
+    QuarantinedTrial,
+    journal_trial_key,
+    result_content_hash,
+)
+from repro.telemetry.stream import read_run_log
+
+logger = logging.getLogger(__name__)
+
+#: Format tag carried by ``journal.start``; bump on breaking changes.
+JOURNAL_FORMAT = "metro-run-journal-v1"
+
+def _trim_torn_tail(path):
+    """Drop a torn (newline-less) final line before appending.
+
+    Readers already tolerate a torn tail, but *appending* after one
+    would glue the new record onto the fragment, turning a harmless
+    torn tail into a corrupt interior line.  Truncating back to the
+    last complete record keeps append-after-crash safe; the torn
+    record was never readable anyway.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            keep = data.rfind(b"\n") + 1
+            handle.truncate(keep)
+        logger.warning(
+            "journal %s: dropped a torn final record (%d byte(s)) "
+            "before appending", path, size - keep,
+        )
+    except OSError:
+        return
+
+
+#: Required fields per journal event kind (:func:`validate_journal`;
+#: also folded into run-log validation so journal events embedded in a
+#: run log validate there too).
+JOURNAL_REQUIRED_FIELDS = {
+    "journal.start": ("format",),
+    "sweep.start": ("total", "trials"),
+    "trial.queued": ("index", "key", "label"),
+    "trial.start": ("index", "key", "label", "attempt"),
+    "trial.done": ("index", "key", "label", "source"),
+    "trial.failed": ("index", "key", "label", "attempt", "kind"),
+    "trial.quarantined": ("index", "key", "label", "report"),
+    "sweep.end": ("total",),
+    "sweep.interrupted": ("signum",),
+}
+
+
+class RunJournal:
+    """Append-only JSONL write-ahead journal for sweep state.
+
+    Every :meth:`record` is one JSON object per line, written, flushed
+    and (by default) fsynced before returning — the write-ahead
+    discipline that makes a SIGKILL at any instant recoverable.  The
+    worst a crash can leave is one torn final line, which every reader
+    here tolerates.  Opening an existing journal appends to it (a
+    resumed run extends the same history); opening a fresh path writes
+    the ``journal.start`` header first.
+
+    :param path: journal file path (parent directories are created).
+    :param fsync: set False to skip the per-record fsync (tests that
+        hammer the journal; production sweeps should keep it on).
+    """
+
+    def __init__(self, path, fsync=True):
+        self.path = str(path)
+        self.fsync = fsync
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        _trim_torn_tail(self.path)
+        fresh = (
+            not os.path.exists(self.path)
+            or os.path.getsize(self.path) == 0
+        )
+        self._handle = open(self.path, "a")
+        self.records_written = 0
+        if fresh:
+            self.record("journal.start", format=JOURNAL_FORMAT, pid=os.getpid())
+
+    @property
+    def closed(self):
+        return self._handle is None
+
+    def record(self, event, **fields):
+        """Durably append one ``event`` record with ``fields``."""
+        if self._handle is None:
+            return
+        entry = {"event": event, "t": round(time.time(), 6)}
+        entry.update(fields)
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.records_written += 1
+
+    def close(self):
+        """Close the file (idempotent); further records are dropped."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "<RunJournal {} ({} records{})>".format(
+            self.path, self.records_written,
+            ", closed" if self.closed else "",
+        )
+
+
+def read_journal(path_or_lines):
+    """Parse a journal into event dicts (torn final line tolerated).
+
+    Same parser and tolerance contract as
+    :func:`repro.telemetry.stream.read_run_log`: blank lines are
+    skipped, a malformed *final* line (crash mid-append) is dropped,
+    a malformed interior line raises ``ValueError``.
+    """
+    return read_run_log(path_or_lines)
+
+
+def validate_journal(events):
+    """Schema-check parsed journal events; returns the event count.
+
+    Requires the leading ``journal.start`` header with the known
+    format tag and the per-kind required fields
+    (:data:`JOURNAL_REQUIRED_FIELDS`).  Unknown kinds pass — the
+    format is forward-extensible — but known kinds missing fields
+    raise ``ValueError``.
+    """
+    if not events:
+        raise ValueError("journal is empty")
+    first = events[0]
+    if first.get("event") != "journal.start":
+        raise ValueError("journal must begin with a journal.start record")
+    if first.get("format") != JOURNAL_FORMAT:
+        raise ValueError(
+            "unknown journal format {!r} (expected {!r})".format(
+                first.get("format"), JOURNAL_FORMAT
+            )
+        )
+    for index, event in enumerate(events):
+        kind = event.get("event")
+        if not isinstance(kind, str):
+            raise ValueError("record {} has no event field".format(index))
+        for field in JOURNAL_REQUIRED_FIELDS.get(kind, ()):
+            if field not in event:
+                raise ValueError(
+                    "record {} ({}) is missing field {!r}".format(
+                        index, kind, field
+                    )
+                )
+    return len(events)
+
+
+class JournalState:
+    """The replayed view of a journal: where every trial got to.
+
+    Built by :func:`replay_journal`.  Keys throughout are
+    :func:`~repro.harness.parallel.journal_trial_key` values.
+    """
+
+    def __init__(self):
+        #: key -> {"index", "label", "seed"} from the sweep manifest.
+        self.trials = {}
+        #: key -> {"source", "result_hash", "elapsed"} for finished trials.
+        self.done = {}
+        #: key -> quarantine report dict (:meth:`QuarantinedTrial.as_dict`).
+        self.quarantined = {}
+        #: key -> highest attempt number observed.
+        self.attempts = {}
+        #: keys dispatched (``trial.start``) but never finished — a
+        #: crash caught them mid-flight.
+        self.started = set()
+        #: signal name from ``sweep.interrupted``, else None.
+        self.interrupted = None
+        #: True once a ``sweep.end`` was recorded.
+        self.completed = False
+
+    @property
+    def unfinished(self):
+        """Manifest keys with neither a result nor a quarantine report."""
+        return [
+            key for key in self.trials
+            if key not in self.done and key not in self.quarantined
+        ]
+
+    def describe(self):
+        return (
+            "{} trial(s): {} done, {} quarantined, {} unfinished"
+            " ({} mid-flight){}{}".format(
+                len(self.trials), len(self.done), len(self.quarantined),
+                len(self.unfinished), len(self.started),
+                "; interrupted by {}".format(self.interrupted)
+                if self.interrupted else "",
+                "; completed" if self.completed else "",
+            )
+        )
+
+    def __repr__(self):
+        return "<JournalState {}>".format(self.describe())
+
+
+def replay_journal(events):
+    """Fold parsed journal events into a :class:`JournalState`.
+
+    Later records win (a retry's ``trial.failed`` after an earlier
+    one, a ``trial.done`` after a crash on a previous attempt), so the
+    state reflects each trial's *last* known transition.  Multiple
+    ``sweep.start`` manifests merge — lazy sweeps
+    (:func:`~repro.harness.saturation.find_saturation`) run one
+    runner batch per probed point against the same journal.
+    """
+    state = JournalState()
+    for event in events:
+        kind = event.get("event")
+        key = event.get("key")
+        if kind == "sweep.start":
+            for trial in event.get("trials", ()):
+                if trial.get("key") is not None:
+                    state.trials.setdefault(trial["key"], dict(trial))
+        elif kind == "trial.queued":
+            if key is not None:
+                state.trials.setdefault(key, {
+                    "index": event.get("index"),
+                    "key": key,
+                    "label": event.get("label"),
+                    "seed": event.get("seed"),
+                })
+        elif kind == "trial.start":
+            if key is not None:
+                state.started.add(key)
+                attempt = event.get("attempt") or 0
+                if attempt > state.attempts.get(key, 0):
+                    state.attempts[key] = attempt
+        elif kind == "trial.done":
+            if key is not None:
+                state.done[key] = {
+                    "source": event.get("source"),
+                    "result_hash": event.get("result_hash"),
+                    "elapsed": event.get("elapsed"),
+                }
+                state.started.discard(key)
+        elif kind == "trial.failed":
+            if key is not None:
+                attempt = event.get("attempt") or 0
+                if attempt > state.attempts.get(key, 0):
+                    state.attempts[key] = attempt
+        elif kind == "trial.quarantined":
+            if key is not None:
+                state.quarantined[key] = event.get("report") or {}
+                state.started.discard(key)
+        elif kind == "sweep.end":
+            state.completed = True
+        elif kind == "sweep.interrupted":
+            state.interrupted = event.get("signal") or str(event.get("signum"))
+    return state
+
+
+def load_journal_state(path):
+    """Read + validate + replay ``path`` in one call."""
+    events = read_journal(path)
+    validate_journal(events)
+    return replay_journal(events)
+
+
+def precomputed_from_state(state, specs, cache, partial=None):
+    """``{spec index: result}`` a journal replay can serve for ``specs``.
+
+    The resume decision per trial, shared by :func:`resume_sweep` and
+    a :class:`~repro.harness.parallel.TrialRunner` built with
+    ``resume_from=``:
+
+    * a trial with a ``trial.done`` record is fetched from the trial
+      ``cache`` and served **only if** its content hash matches the
+      hash the journal recorded — a corrupt or foreign cache entry is
+      re-executed, never trusted;
+    * a quarantined trial's report is carried over as-is (it spent its
+      attempt budget; resuming is not a free retry — re-run without
+      resuming to try again);
+    * an unfinished trial is left out (it will re-execute), except
+      that ``partial(index, spec, state)`` — if given — may recover a
+      result for trials the journal shows *mid-flight* (e.g. the
+      chaos harness finishing a half-done soak from its snapshot
+      ring).
+
+    Serving nothing is always safe: trials are pure functions of
+    their specs, so re-execution reproduces the journaled results
+    byte-identically, just slower.
+    """
+    precomputed = {}
+    recomputing = []
+    for index, spec in enumerate(specs):
+        key = journal_trial_key(spec)
+        report = state.quarantined.get(key)
+        if report is not None:
+            precomputed[index] = QuarantinedTrial.from_dict(report)
+            continue
+        entry = state.done.get(key)
+        if entry is None:
+            if partial is not None and key in state.started:
+                result = partial(index, spec, state)
+                if result is not None:
+                    precomputed[index] = result
+            continue
+        if cache is None or not spec.cacheable():
+            recomputing.append(spec.label)
+            continue
+        hit = cache.get(spec.fingerprint())
+        if hit is CACHE_MISS:
+            recomputing.append(spec.label)
+            continue
+        expected = entry.get("result_hash")
+        if expected is not None and result_content_hash(hit) != expected:
+            logger.warning(
+                "resume: cached result for trial %r does not match the "
+                "journal's content hash; re-executing", spec.label,
+            )
+            recomputing.append(spec.label)
+            continue
+        precomputed[index] = hit
+    if recomputing:
+        shown = ", ".join(recomputing[:5])
+        if len(recomputing) > 5:
+            shown += ", ..."
+        logger.warning(
+            "resume: %d journal-finished trial(s) not servable from the "
+            "trial cache; re-executing deterministically: %s",
+            len(recomputing), shown,
+        )
+    return precomputed
+
+
+def resume_sweep(journal_path, specs, runner, partial=None):
+    """Finish an interrupted sweep; returns results in spec order.
+
+    Replays the journal at ``journal_path``, then runs ``specs`` on
+    ``runner`` with every already-finished trial served as a
+    precomputed result (progress source ``"resumed"``) per
+    :func:`precomputed_from_state`.
+
+    Because trials are pure functions of their specs, the merged
+    results are byte-identical to an uninterrupted run.  Raises
+    ``ValueError`` when the journal shares no trial keys with
+    ``specs`` — the wrong journal, or a code change moved every
+    fingerprint, either way nothing can be safely resumed.
+
+    Point the runner's own ``journal`` at the same path to extend the
+    history: the resumed leg appends its records after the crash
+    point.
+    """
+    specs = list(specs)
+    state = load_journal_state(journal_path)
+    spec_keys = [journal_trial_key(spec) for spec in specs]
+    known = set(state.trials) | set(state.done) | set(state.quarantined)
+    if specs and not any(key in known for key in spec_keys):
+        raise ValueError(
+            "journal {} does not describe this sweep: none of its {} "
+            "trial key(s) match (wrong journal, or a code/parameter "
+            "change moved every fingerprint)".format(
+                journal_path, len(spec_keys)
+            )
+        )
+    precomputed = precomputed_from_state(
+        state, specs, runner.cache, partial=partial
+    )
+    logger.info(
+        "resuming sweep from %s: %s; %d of %d trial(s) served from the "
+        "journal", journal_path, state.describe(), len(precomputed),
+        len(specs),
+    )
+    return runner.run(specs, precomputed=precomputed)

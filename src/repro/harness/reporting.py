@@ -10,6 +10,7 @@ subsystem's aggregates (:func:`format_histogram`,
 metrics-enabled sweeps print distributions, not just means.
 """
 
+import collections
 import sys
 
 from repro.telemetry.metrics import bucket_bounds
@@ -19,14 +20,19 @@ def format_trial_event(event):
     """One progress line for a :class:`~repro.harness.parallel.TrialEvent`.
 
     ``[ 3/8] rate=0.01                 2.13s`` (``cached`` for a trial
-    served from the result cache).  When pool queueing made the trial
-    wait well past its own compute time, the wall-clock duration is
-    appended; a timed-out trial shows ``TIMEOUT`` plus its last
-    liveness heartbeat, if the worker wrote one.
+    served from the result cache, ``resumed`` for one replayed from a
+    run journal).  When pool queueing made the trial wait well past
+    its own compute time, the wall-clock duration is appended; a
+    timed-out trial shows ``TIMEOUT`` plus its last liveness
+    heartbeat, if the worker wrote one; a quarantined trial shows
+    ``QUARANTINED`` (see :func:`format_quarantine_report` for the
+    post-sweep summary).
     """
     width = len(str(event.total))
     if event.cached:
-        timing = "cached"
+        timing = "resumed" if event.source == "resumed" else "cached"
+    elif event.quarantined:
+        timing = "QUARANTINED after {:.0f}s".format(event.duration)
     elif event.timed_out:
         timing = "TIMEOUT after {:.0f}s".format(event.duration)
         if event.heartbeat:
@@ -55,6 +61,37 @@ def progress_printer(stream=None):
         out.flush()
 
     return _print
+
+
+def format_quarantine_report(reports, title="Quarantined trials"):
+    """Summary table for :class:`~repro.harness.parallel.QuarantinedTrial` reports.
+
+    One row per poisoned trial: its label, seed, attempt count, a
+    compressed failure-kind tally (``crash x3``), and the last
+    failure's detail.  The CLI prints this (and exits nonzero) when a
+    sweep completes with quarantined trials.
+    """
+    rows = []
+    for report in reports:
+        kinds = collections.Counter(
+            failure.get("kind", "?") for failure in report.failures
+        )
+        tally = ", ".join(
+            "{} x{}".format(kind, count) for kind, count in sorted(kinds.items())
+        )
+        detail = report.failures[-1].get("detail", "") if report.failures else ""
+        if len(detail) > 48:
+            detail = detail[:45] + "..."
+        rows.append(
+            {
+                "trial": report.label,
+                "seed": report.seed,
+                "attempts": report.attempts,
+                "failures": tally or "(none recorded)",
+                "last failure": detail,
+            }
+        )
+    return format_table(rows, title=title)
 
 
 def format_table(rows, columns=None, title=None, floatfmt="{:.1f}"):

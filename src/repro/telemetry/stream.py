@@ -47,6 +47,19 @@ from repro.telemetry.metrics import MetricsSnapshot
 #: Format tag carried by ``run.start``; bump on breaking changes.
 STREAM_FORMAT = "metro-run-log-v1"
 
+#: Per-event required fields enforced by :func:`validate_run_log`.
+#: Journal events (``trial.*`` / ``sweep.*``, see
+#: :mod:`repro.harness.journal`) are merged in at validation time so a
+#: run log and a run journal can share tooling (``metro-repro tail``).
+REQUIRED_FIELDS = {
+    "metrics.delta": ("series", "seq"),
+    "window.stats": ("window", "delivered"),
+    "fault.transition": ("fault", "action"),
+    "snapshot.write": ("path",),
+    "watchdog.stall": ("stalled_cycles",),
+    "run.end": ("deltas",),
+}
+
 
 # ---------------------------------------------------------------------------
 # Snapshot <-> JSON (exact round trip)
@@ -436,14 +449,11 @@ def validate_run_log(events):
                 first.get("format"), STREAM_FORMAT
             )
         )
-    required = {
-        "metrics.delta": ("series", "seq"),
-        "window.stats": ("window", "delivered"),
-        "fault.transition": ("fault", "action"),
-        "snapshot.write": ("path",),
-        "watchdog.stall": ("stalled_cycles",),
-        "run.end": ("deltas",),
-    }
+    # Lazy import: journal builds on this module, not the reverse.
+    from repro.harness.journal import JOURNAL_REQUIRED_FIELDS
+
+    required = dict(REQUIRED_FIELDS)
+    required.update(JOURNAL_REQUIRED_FIELDS)
     for index, event in enumerate(events):
         kind = event.get("event")
         if not isinstance(kind, str):

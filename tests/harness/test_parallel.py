@@ -1,5 +1,8 @@
 """The parallel trial runner: equivalence, caching, specs, timeouts."""
 
+import os
+import signal
+import sys
 import time
 
 import pytest
@@ -402,3 +405,259 @@ def test_serial_events_carry_wall_durations(tmp_path):
     runner.run(specs)
     assert all(e.duration >= e.seconds for e in events)
     assert all(e.heartbeat is None for e in events)
+
+
+# ---------------------------------------------------------------------------
+# Supervision: retries, quarantine, worker recycling, pool shrink
+# ---------------------------------------------------------------------------
+
+
+def _crash_once_trial(seed=0):
+    # Killed externally by the chaosmonkey on its first attempt.
+    return ("survived", seed)
+
+
+def test_trial_backoff_mirrors_retry_shapes():
+    from repro.harness.parallel import TrialBackoff, _normalize_retries
+
+    backoff = TrialBackoff(max_attempts=4, base=0.5, factor=2.0,
+                           max_delay=1.5, jitter=False)
+    assert [backoff.delay(a) for a in (1, 2, 3)] == [0.5, 1.0, 1.5]
+    jittered = TrialBackoff(max_attempts=4, base=0.5, seed=1)
+    assert 0.0 <= jittered.delay(1) <= 0.5
+    assert _normalize_retries(None).max_attempts == 1
+    assert _normalize_retries(3).max_attempts == 3
+    assert _normalize_retries(backoff) is backoff
+
+
+def test_timed_out_trial_recycles_worker_and_pool_completes(caplog):
+    """Satellite fix: a hung trial must not occupy its worker forever.
+
+    One trial hangs past the timeout on a 2-worker pool while four
+    quick trials queue behind it.  If the timed-out worker were left
+    occupied, the pool would finish on one worker (or not at all);
+    recycling it keeps both lanes live and the sweep completes with
+    the hung trial quarantined.
+    """
+    from repro.harness.parallel import TrialBackoff, is_quarantined
+
+    runner = TrialRunner(
+        workers=2, trial_timeout=0.8,
+        retries=TrialBackoff(max_attempts=1, base=0.0),
+        on_exhausted="quarantine",
+    )
+    specs = [TrialSpec(__name__ + ":_sleepy_trial", params=dict(seconds=30),
+                       label="hung")]
+    specs += [
+        TrialSpec(__name__ + ":_echo_trial", params=dict(value=v), seed=v,
+                  label="quick{}".format(v))
+        for v in range(4)
+    ]
+    with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+        results = runner.run(specs)
+    assert is_quarantined(results[0])
+    assert results[0].failures[0]["kind"] == "timeout"
+    assert results[1:] == [(v, v) for v in range(4)]
+
+
+def test_worker_killed_three_times_quarantines_and_sweep_completes(
+    tmp_path, monkeypatch
+):
+    """Acceptance: 3x SIGKILL on one trial -> quarantine, sweep lives."""
+    from repro.harness.chaosmonkey import arm
+    from repro.harness.parallel import TrialBackoff, partition_quarantined
+
+    for key, value in arm(str(tmp_path / "ledger"), target="victim",
+                          strikes=3).items():
+        monkeypatch.setenv(key, value)
+    runner = TrialRunner(
+        workers=2,
+        retries=TrialBackoff(max_attempts=3, base=0.0, jitter=False),
+        on_exhausted="quarantine",
+    )
+    specs = [TrialSpec(__name__ + ":_crash_once_trial", seed=7,
+                       label="victim")]
+    specs += [
+        TrialSpec(__name__ + ":_echo_trial", params=dict(value=v), seed=v,
+                  label="bystander{}".format(v))
+        for v in range(3)
+    ]
+    results = runner.run(specs)
+    ok, quarantined = partition_quarantined(results)
+    assert ok == [(v, v) for v in range(3)]
+    (report,) = quarantined
+    assert report.label == "victim"
+    assert report.attempts == 3
+    assert [f["kind"] for f in report.failures] == ["crash"] * 3
+    assert all(f["exitcode"] == -9 for f in report.failures)
+    # The report is structured data: it round-trips and summarizes.
+    from repro.harness.parallel import QuarantinedTrial
+    from repro.harness.reporting import format_quarantine_report
+
+    assert QuarantinedTrial.from_dict(report.as_dict()).label == "victim"
+    assert "crash x3" in format_quarantine_report([report])
+
+
+def test_crashed_worker_retries_to_success(tmp_path, monkeypatch):
+    """A worker SIGKILLed once retries the trial and succeeds."""
+    from repro.harness.chaosmonkey import arm
+    from repro.harness.parallel import TrialBackoff
+
+    for key, value in arm(str(tmp_path / "ledger"), target="victim",
+                          strikes=1).items():
+        monkeypatch.setenv(key, value)
+    runner = TrialRunner(
+        workers=2,
+        retries=TrialBackoff(max_attempts=2, base=0.0, jitter=False),
+    )
+    results = runner.run(
+        [TrialSpec(__name__ + ":_crash_once_trial", seed=7, label="victim")]
+    )
+    assert results == [("survived", 7)]
+
+
+def test_pool_shrinks_when_respawn_fails(tmp_path, monkeypatch, caplog):
+    """Graceful degradation: a dead worker that cannot be respawned
+    shrinks the pool instead of wedging or crashing the sweep."""
+    from repro.harness.chaosmonkey import arm
+    from repro.harness.parallel import TrialBackoff
+
+    for key, value in arm(str(tmp_path / "ledger"), target="victim",
+                          strikes=1).items():
+        monkeypatch.setenv(key, value)
+    original = TrialRunner._spawn_worker
+    spawned = []
+
+    def rationed_spawn(self, context, result_queue):
+        if len(spawned) >= 2:
+            raise OSError("fork budget exhausted")
+        spawned.append(True)
+        return original(self, context, result_queue)
+
+    monkeypatch.setattr(TrialRunner, "_spawn_worker", rationed_spawn)
+    runner = TrialRunner(
+        workers=2,
+        retries=TrialBackoff(max_attempts=2, base=0.0, jitter=False),
+    )
+    specs = [TrialSpec(__name__ + ":_crash_once_trial", seed=7,
+                       label="victim")]
+    specs += [
+        TrialSpec(__name__ + ":_echo_trial", params=dict(value=v), seed=v,
+                  label="bystander{}".format(v))
+        for v in range(3)
+    ]
+    with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+        results = runner.run(specs)
+    assert results[0] == ("survived", 7)
+    assert results[1:] == [(v, v) for v in range(3)]
+    assert any("pool shrinks" in r.message for r in caplog.records)
+
+
+def test_corrupt_cache_entry_is_a_warned_miss(tmp_path, caplog):
+    """Satellite fix: unreadable cached pickles never crash a sweep."""
+    cache = TrialCache(str(tmp_path))
+    cache.put("key", {"fine": True})
+    assert cache.get("key") == {"fine": True}
+    with open(cache._path("key"), "wb") as handle:
+        handle.write(b"not a pickle at all")
+    with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+        assert cache.get("key") is CACHE_MISS
+    assert any("corrupt" in r.message.lower() or "unreadable" in
+               r.message.lower() for r in caplog.records)
+
+
+def test_cache_writes_are_atomic(tmp_path):
+    """No torn entry is ever visible under the final cache filename."""
+    cache = TrialCache(str(tmp_path))
+    cache.put("key", list(range(1000)))
+    leftovers = [
+        name
+        for _root, _dirs, files in os.walk(str(tmp_path))
+        for name in files
+        if not name.endswith(".pkl")
+    ]
+    assert leftovers == []
+    assert cache.get("key") == list(range(1000))
+
+
+_ORPHAN_VICTIM = """
+import sys
+
+sys.path.insert(0, {src!r})
+from repro.harness.parallel import TrialRunner, TrialSpec
+
+specs = [
+    TrialSpec(
+        "repro.harness.load_sweep:run_load_point",
+        params=dict(rate=0.01, warmup_cycles=200, measure_cycles=600),
+        seed=i,
+        label="pt{{}}".format(i),
+    )
+    for i in range(200)
+]
+TrialRunner(workers=2).run(specs)
+"""
+
+
+def _children_of(pid):
+    kids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open("/proc/{}/stat".format(entry)) as handle:
+                fields = handle.read().rsplit(")", 1)[1].split()
+        except OSError:
+            continue
+        if int(fields[1]) == pid:  # field 4 of stat: ppid
+            kids.append(int(entry))
+    return kids
+
+
+@pytest.mark.skipif(not sys.platform.startswith("linux"),
+                    reason="reads /proc")
+def test_workers_exit_when_supervisor_is_sigkilled(tmp_path):
+    """SIGKILLing the supervisor must not leak orphaned idle workers.
+
+    Forked-later siblings hold the parent end of earlier workers'
+    pipes, so EOF never reaches an orphan; the worker loop's getppid
+    poll is what lets the pool die with its supervisor.
+    """
+    import subprocess
+
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    victim = subprocess.Popen(
+        [sys.executable, "-c", _ORPHAN_VICTIM.format(src=os.path.abspath(src))],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.time() + 30
+        workers = []
+        while time.time() < deadline and len(workers) < 2:
+            workers = _children_of(victim.pid)
+            time.sleep(0.1)
+        assert len(workers) >= 2, "victim never spawned its pool"
+        victim.kill()
+        assert victim.wait(timeout=10) == -signal.SIGKILL
+        # Orphans notice within ~1s (the conn.poll interval) once their
+        # in-flight trial ends — the trials are short, so well inside
+        # this deadline.
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            alive = [pid for pid in workers if os.path.exists(
+                "/proc/{}".format(pid))]
+            if not alive:
+                return
+            time.sleep(0.25)
+        raise AssertionError(
+            "orphaned workers survived the supervisor: {}".format(alive)
+        )
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+        for pid in _children_of(victim.pid):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass

@@ -108,6 +108,43 @@ class TestRunLogSchema:
                 ]
             )
 
+    def test_truncated_mid_record_parses_as_a_prefix(self, tmp_path):
+        """A crash can cut the file at any byte, not just mid-append.
+
+        Whatever the truncation point, the reader must return a clean
+        prefix of the original events — the torn final record (and
+        only it) vanishes.
+        """
+        from repro.harness.chaosmonkey import truncate_tail
+
+        path = str(tmp_path / "run.jsonl")
+        run_chaos_point(seed=1, stream_path=path, metrics=True, **SOAK_KW)
+        whole = read_run_log(path)
+        for nbytes in (1, 7, 40):
+            torn_path = str(tmp_path / "torn-{}.jsonl".format(nbytes))
+            with open(path, "rb") as src, open(torn_path, "wb") as dst:
+                dst.write(src.read())
+            truncate_tail(torn_path, nbytes)
+            torn = read_run_log(torn_path)
+            assert torn == whole[: len(torn)]
+            assert len(torn) >= len(whole) - 2
+
+    def test_journal_events_validate_inside_run_logs(self):
+        """Journal trial events embedded in a run log schema-check."""
+        events = [
+            {"event": "run.start", "format": STREAM_FORMAT},
+            {"event": "trial.done", "index": 0, "key": "k", "label": "pt0",
+             "source": "executed"},
+        ]
+        assert validate_run_log(events) == 2
+        with pytest.raises(ValueError, match="missing field"):
+            validate_run_log(
+                [
+                    {"event": "run.start", "format": STREAM_FORMAT},
+                    {"event": "trial.done", "index": 0},
+                ]
+            )
+
 
 class TestLosslessDeltas:
     def test_merged_deltas_equal_final_snapshot_serial(self, tmp_path):

@@ -163,3 +163,47 @@ class TestHeartbeats:
         assert watchdog.stalled
         beat = read_heartbeat(path)
         assert beat["stalled"] is True
+
+    def test_heartbeat_survives_concurrent_readers(self, tmp_path):
+        """Readers racing the writer never observe a torn heartbeat.
+
+        The write is write-temp-then-rename, so a concurrent reader
+        sees either the previous complete beat or the new one — never
+        a partial JSON document.  Hammer the file from reader threads
+        while the writer updates it and check every observation is a
+        complete, known beat (None is allowed only before the first
+        write lands).
+        """
+        import threading
+
+        path = str(tmp_path / "hb.json")
+        n_beats = 300
+        bad = []
+        seen = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                beat = read_heartbeat(path)
+                if beat is None:
+                    continue
+                if not {"cycle", "delivered", "stalled", "pid"} <= set(beat):
+                    bad.append(beat)
+                elif not (0 <= beat["cycle"] < n_beats
+                          and beat["delivered"] == beat["cycle"] * 2):
+                    bad.append(beat)
+                else:
+                    seen.append(beat["cycle"])
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        for cycle in range(n_beats):
+            write_heartbeat(path, cycle=cycle, delivered=cycle * 2)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert bad == []
+        assert seen  # the readers really did observe beats mid-write
+        final = read_heartbeat(path)
+        assert final["cycle"] == n_beats - 1

@@ -457,3 +457,67 @@ def test_bench_check_portable_only_skips_local_metrics(tmp_path, capsys):
         ["bench-check", "--history-dir", history, "--portable-only"]
     ) == 0
     assert "insufficient history" in capsys.readouterr().out
+
+
+_FIG3_SMALL = ["figure3", "--rates", "0.005,0.01", "--warmup", "200",
+               "--measure", "600"]
+
+
+def test_figure3_journal_then_resume(tmp_path, capsys):
+    journal = str(tmp_path / "run.jsonl")
+    argv = ["--cache-dir", str(tmp_path / "cache")] + _FIG3_SMALL
+    out = _run(capsys, argv + ["--journal", journal])
+    resumed = _run(capsys, argv + ["--resume", journal])
+    # Identical tables: the resumed run served everything by replay.
+    assert out.splitlines()[-1] == resumed.splitlines()[-1]
+    from repro.harness.journal import load_journal_state
+
+    state = load_journal_state(journal)
+    assert state.completed and len(state.done) == 2
+
+
+def test_tail_renders_a_run_journal(tmp_path, capsys):
+    journal = str(tmp_path / "run.jsonl")
+    _run(
+        capsys,
+        ["--cache-dir", str(tmp_path / "cache")] + _FIG3_SMALL
+        + ["--journal", journal],
+    )
+    out = _run(capsys, ["tail", journal])
+    assert "run journal" in out
+    assert "sweep completed" in out
+    assert "rate=0.005" in out
+
+
+def test_quarantined_sweep_exits_3_with_report(tmp_path, capsys, monkeypatch):
+    from repro.harness.chaosmonkey import arm
+
+    for key, value in arm(str(tmp_path / "ledger"), target="rate=0.01",
+                          strikes=3).items():
+        monkeypatch.setenv(key, value)
+    code = main(
+        ["--workers", "2"] + _FIG3_SMALL + ["--retries", "3", "--quarantine"]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "Quarantined trials" in captured.out
+    assert "crash x3" in captured.out
+    assert "quarantined" in captured.err
+    # The healthy trial still rendered.
+    assert "rate=0.005" in captured.out
+
+
+def test_parser_accepts_resilience_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        _FIG3_SMALL + ["--journal", "j.jsonl", "--retries", "3",
+                       "--quarantine"]
+    )
+    assert args.journal == "j.jsonl"
+    assert args.retries == 3
+    assert args.quarantine is True
+    args = parser.parse_args(["saturation", "--journal", "j.jsonl"])
+    assert args.journal == "j.jsonl"
+    # Saturation has no --quarantine (its search needs real results).
+    with pytest.raises(SystemExit):
+        parser.parse_args(["saturation", "--quarantine"])
