@@ -569,6 +569,118 @@ def _cmd_chaos(args):
     return status
 
 
+def _parse_fault_levels(text):
+    levels = []
+    for part in text.split(","):
+        links, _, routers = part.partition(":")
+        levels.append((int(links), int(routers or 0)))
+    return tuple(levels)
+
+
+def _cmd_workloads(args):
+    """Application workload sweeps with SLO gates (docs/workloads.md).
+
+    Exit codes follow the repo convention: 1 when the SLO gate fails
+    (a latency percentile over its bound, abandoned requests over
+    their bound, or an incomplete collective), 3 when trials were
+    quarantined, 0 otherwise.
+    """
+    from repro.harness.reporting import format_table
+    from repro.harness.workload_sweep import (
+        collective_fault_sweep,
+        service_sweep,
+        workload_slo_failures,
+    )
+
+    runner = _runner(args)
+    metrics = args.metrics or bool(args.metrics_export)
+    common = dict(network=args.network, seed=args.seed, runner=runner)
+    if args.backend != "reference":
+        common["backend"] = args.backend
+    if metrics:
+        common["metrics"] = True
+
+    slo = {}
+    if args.kind == "collective":
+        layers = (
+            [int(part) for part in args.layers.split(",")]
+            if args.layers
+            else None
+        )
+        results = collective_fault_sweep(
+            fault_levels=_parse_fault_levels(args.fault_levels),
+            algorithm=args.algorithm,
+            words=args.words,
+            layers=layers,
+            microbatches=args.microbatches,
+            max_cycles=args.max_cycles,
+            **common
+        )
+        if args.slo_cycles is not None:
+            slo["collective_cycles"] = args.slo_cycles
+    else:
+        results = service_sweep(
+            rates=tuple(float(r) for r in args.rates.split(",")),
+            servers=tuple(int(s) for s in args.servers.split(",")),
+            clients=args.clients,
+            burst_prob=args.burst_prob,
+            burst_size=args.burst_size,
+            request_words=args.request_words,
+            reply_words=args.reply_words,
+            service_time=tuple(
+                int(part) for part in args.service_time.split(":")
+            ),
+            warmup_cycles=args.warmup,
+            measure_cycles=args.measure,
+            **common
+        )
+        for name in ("p50", "p95", "p99", "p999"):
+            bound = getattr(args, "slo_{}".format(name))
+            if bound is not None:
+                slo[name] = bound
+        if args.slo_abandoned is not None:
+            slo["abandoned"] = args.slo_abandoned
+
+    _report_runner_stats(runner)
+    results, status = _strip_quarantined(results)
+    if not results:
+        print("FAIL: every trial was quarantined", file=sys.stderr)
+        return status or 1
+
+    rows = []
+    for result in results:
+        row = result.as_dict()
+        row.pop("log_digest", None)
+        rows.append(row)
+    if args.kind == "collective":
+        print(format_table(rows, title="Collective completion vs fault level"))
+        for result in results:
+            print()
+            print(
+                format_table(
+                    result.steps,
+                    title="{}: per-step completion".format(result.label),
+                )
+            )
+    else:
+        print(
+            format_table(
+                rows, title="Service tail latency vs offered load"
+            )
+        )
+
+    failures = workload_slo_failures(results, slo)
+    for failure in failures:
+        print("FAIL: SLO violated: {}".format(failure), file=sys.stderr)
+    if failures:
+        status = status or 1
+    if metrics and args.metrics:
+        _print_metrics(results)
+    if args.metrics_export:
+        _export_metrics(results, args.metrics_export)
+    return status
+
+
 def _cmd_breakdown(args):
     from repro.harness.breakdown import measure_breakdown
     from repro.harness.load_sweep import figure3_network
@@ -814,13 +926,15 @@ def _format_stream_event(event):
     if kind == "window.stats":
         p50 = event.get("p50_latency")
         p99 = event.get("p99_latency")
+        p999 = event.get("p999_latency")
         return (
-            "window {:>4} @{:<8} delivered={:<6} p50={} p99={}".format(
+            "window {:>4} @{:<8} delivered={:<6} p50={} p99={} p999={}".format(
                 event.get("window"),
                 cycle,
                 event.get("delivered"),
                 "-" if p50 is None else p50,
                 "-" if p99 is None else p99,
+                "-" if p999 is None else p999,
             )
         )
     if kind == "fault.transition":
@@ -933,6 +1047,7 @@ def _render_run_log(events, last=12):
                 "p50": w.get("p50_latency"),
                 "p95": w.get("p95_latency"),
                 "p99": w.get("p99_latency"),
+                "p999": w.get("p999_latency"),
             }
             for w in windows[-last:]
         ]
@@ -1365,6 +1480,101 @@ def build_parser():
     add_backend(chaos)
     add_resilience(chaos, resume=False)
 
+    workloads = sub.add_parser(
+        "workloads",
+        help="application workloads: ML collectives and request/response "
+        "services (docs/workloads.md)",
+    )
+    workloads.add_argument(
+        "kind", choices=("collective", "service"),
+        help="'collective': dependency-DAG ML collectives swept over "
+        "fault levels; 'service': open-loop request/response soaks "
+        "swept over offered load",
+    )
+    workloads.add_argument(
+        "--network", choices=("figure1", "figure3"), default="figure1",
+        help="fabric: the 16-endpoint Figure 1 network (quick) or the "
+        "64-endpoint Figure 3 network",
+    )
+    workloads.add_argument(
+        "--algorithm",
+        choices=("ring", "recursive-doubling", "all-to-all", "pipeline"),
+        default="ring",
+        help="collective schedule generator",
+    )
+    workloads.add_argument(
+        "--words", type=int, default=20,
+        help="per-rank vector words (chunked by the algorithm)",
+    )
+    workloads.add_argument(
+        "--layers", default=None, metavar="W1,W2,...",
+        help="model-shaped mode: per-layer gradient sizes in words; "
+        "one serialized all-reduce per layer in backprop order",
+    )
+    workloads.add_argument(
+        "--microbatches", type=int, default=4,
+        help="microbatches for the pipeline-parallel schedule",
+    )
+    workloads.add_argument(
+        "--fault-levels", default="0:0,4:0,8:0", metavar="L:R,...",
+        help="dead-links:dead-routers levels for the collective sweep",
+    )
+    workloads.add_argument(
+        "--max-cycles", type=int, default=400000,
+        help="cycle budget per collective execution",
+    )
+    workloads.add_argument(
+        "--slo-cycles", type=float, default=None, metavar="CYCLES",
+        help="exit 1 if a collective's completion time exceeds CYCLES "
+        "(incomplete collectives always fail)",
+    )
+    workloads.add_argument(
+        "--rates", default="0.0005,0.001,0.002,0.004",
+        help="per-client mean arrivals/cycle for the service sweep",
+    )
+    workloads.add_argument(
+        "--servers", default="0", metavar="E1,E2,...",
+        help="server endpoint indices; every other endpoint hosts "
+        "clients",
+    )
+    workloads.add_argument(
+        "--clients", type=int, default=4,
+        help="simulated clients multiplexed per client endpoint",
+    )
+    workloads.add_argument(
+        "--burst-prob", type=float, default=0.0,
+        help="probability an arrival triggers a burst",
+    )
+    workloads.add_argument(
+        "--burst-size", type=int, default=1,
+        help="requests per burst (1 = pure Poisson arrivals)",
+    )
+    workloads.add_argument("--request-words", type=int, default=8)
+    workloads.add_argument("--reply-words", type=int, default=4)
+    workloads.add_argument(
+        "--service-time", default="0:16", metavar="LO:HI",
+        help="uniform simulated server processing cycles per request",
+    )
+    workloads.add_argument("--warmup", type=int, default=1000)
+    workloads.add_argument("--measure", type=int, default=6000)
+    for quantile in ("p50", "p95", "p99", "p999"):
+        workloads.add_argument(
+            "--slo-{}".format(quantile), type=float, default=None,
+            metavar="CYCLES",
+            help="exit 1 if the {} request latency exceeds "
+            "CYCLES".format(quantile),
+        )
+    workloads.add_argument(
+        "--slo-abandoned", type=int, default=None, metavar="N",
+        help="exit 1 if more than N requests were abandoned",
+    )
+    workloads.add_argument("--metrics", action="store_true", help=metrics_help)
+    workloads.add_argument(
+        "--metrics-export", default=None, metavar="FILE", help=export_help
+    )
+    add_backend(workloads)
+    add_resilience(workloads)
+
     saturation = sub.add_parser("saturation", help="find saturation throughput")
     saturation.add_argument("--measure", type=int, default=2000)
     saturation.add_argument(
@@ -1509,6 +1719,7 @@ _COMMANDS = {
     "figure3": _cmd_figure3,
     "faults": _cmd_faults,
     "chaos": _cmd_chaos,
+    "workloads": _cmd_workloads,
     "breakdown": _cmd_breakdown,
     "saturation": _cmd_saturation,
     "send": _cmd_send,

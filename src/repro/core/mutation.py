@@ -105,8 +105,29 @@ BACKEND_MUTATIONS = frozenset(
     )
 )
 
-#: Every mutation :func:`activate` accepts (protocol + backend layer).
-KNOWN_MUTATIONS = ALL_MUTATIONS | BACKEND_MUTATIONS
+# -- Workload-layer mutations (collective DAG release) ----------------------
+#
+# Seeded bugs in the :class:`repro.workloads.collective.CollectiveObserver`
+# release bookkeeping.  Where ALL_MUTATIONS breaks the METRO protocol and
+# BACKEND_MUTATIONS breaks the vector engine's arrays, these break the
+# *application* layer — the dependency-DAG release rule a collective
+# workload lives by — to prove the workload determinism harness notices
+# when ops are released too early or never.
+
+#: Forget the dependency edge to an op's first successor when its
+#: delivery lands: the successor's undelivered-dependency count stays
+#: pinned and the downstream subgraph deadlocks.
+WL_DROP_DEP_EDGE = "workload-drop-dep-edge"
+
+#: Release a successor on its *first* satisfied dependency instead of
+#: its last: ops launch before the data they were meant to wait for.
+WL_PREMATURE_RELEASE = "workload-premature-release"
+
+WORKLOAD_MUTATIONS = frozenset((WL_DROP_DEP_EDGE, WL_PREMATURE_RELEASE))
+
+#: Every mutation :func:`activate` accepts (protocol + backend +
+#: workload layers).
+KNOWN_MUTATIONS = ALL_MUTATIONS | BACKEND_MUTATIONS | WORKLOAD_MUTATIONS
 
 #: The active mutation set.  Falsy (empty) in production; the guards in
 #: router/allocator code check emptiness before doing a set lookup.

@@ -315,6 +315,19 @@ class Endpoint(Component):
             self.submit(message)
 
     def _maybe_start_send(self, cycle):
+        """Start the *oldest* ready message on a free port.
+
+        Drain order is oldest-first by submission time
+        (``queued_cycle``), queue position breaking ties.  Position
+        alone is not enough: a retried message re-enters the queue at
+        the tail (behind requests submitted after it), so under a deep
+        multi-outstanding backlog — many clients multiplexed on one
+        interface, a hotspot server forcing retries — a repeatedly
+        unlucky message could be lapped by fresh submissions forever.
+        Oldest-first bounds that unfairness: every backoff expiry, the
+        most-overdue message gets the next free port (see
+        ``tests/endpoint/test_fairness.py``).
+        """
         if len(self._sends) >= self.max_outstanding or not self._queue:
             return
         free_ports = [
@@ -322,12 +335,17 @@ class Endpoint(Component):
         ]
         if not free_ports:
             return
-        ready = [
-            entry for entry in self._queue if entry[0] <= cycle
-        ]
-        if not ready:
+        entry = None
+        entry_key = None
+        for position, candidate in enumerate(self._queue):
+            if candidate[0] > cycle:
+                continue
+            key = (candidate[1].queued_cycle, position)
+            if entry is None or key < entry_key:
+                entry = candidate
+                entry_key = key
+        if entry is None:
             return
-        entry = ready[0]
         self._queue.remove(entry)
         message = entry[1]
         port = self._rng.choice(free_ports)

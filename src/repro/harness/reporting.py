@@ -230,14 +230,16 @@ def format_histogram(histogram, title=None, width=40):
 
 
 def format_percentiles(
-    snapshot, names, qs=(50, 90, 99), title=None, floatfmt="{:.1f}"
+    snapshot, names, qs=(50, 90, 99, 99.9), title=None, floatfmt="{:.1f}"
 ):
     """A count/mean/percentile table over histogram series.
 
     ``names`` selects unlabeled histogram series from a
     :class:`~repro.telemetry.metrics.MetricsSnapshot`; names absent
     from the snapshot are skipped, so one call covers hubs configured
-    with different instrument sets.
+    with different instrument sets.  The default quantiles run out to
+    p99.9 — SLO-grade tails (``docs/workloads.md``); non-integral
+    quantiles render as ``p99.9``-style columns.
     """
     rows = []
     for name in names:

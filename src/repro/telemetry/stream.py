@@ -15,7 +15,8 @@ events to an append-only JSONL *run log* while the simulation runs:
   stream is a lossless incremental transport for the run's metrics,
   and ``tests/telemetry/test_stream.py`` pins byte-identity;
 * ``window.stats`` — per-window delivered count and latency
-  percentiles (p50/p95/p99), the live view of tail behaviour forming;
+  percentiles (p50/p95/p99/p999), the live view of tail behaviour
+  forming;
 * ``fault.transition`` — fault injector apply/revert events, as they
   strike;
 * ``snapshot.write`` — checkpoint-ring writes (see
@@ -332,6 +333,7 @@ class TelemetryStream(Component):
             stats["p50_latency"] = _percentile(latencies, 50)
             stats["p95_latency"] = _percentile(latencies, 95)
             stats["p99_latency"] = _percentile(latencies, 99)
+            stats["p999_latency"] = _percentile(latencies, 99.9)
         self.emit("window.stats", cycle=cycle, **stats)
 
     # -- teardown --------------------------------------------------------

@@ -156,7 +156,9 @@ def test_format_percentiles_skips_missing_series():
 def test_format_percentiles_columns():
     text = format_percentiles(_snapshot(), ["message.latency.cycles"])
     header = text.splitlines()[0].split()
-    assert header == ["metric", "count", "mean", "min", "p50", "p90", "p99", "max"]
+    assert header == [
+        "metric", "count", "mean", "min", "p50", "p90", "p99", "p99.9", "max"
+    ]
     row = text.splitlines()[2].split()
     assert row[1] == "6"  # count
     assert float(row[3]) == 24.0 and float(row[-1]) == 130.0
